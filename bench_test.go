@@ -1,0 +1,343 @@
+package repro
+
+// Repository-level benchmarks: one per table/figure of the paper
+// (regenerating a scaled-down instance of each artifact per
+// iteration), the Theorem 1 work-complexity scaling evidence, and
+// throughput benchmarks of the simulation substrates.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/damq"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/flit"
+	"repro/internal/harness"
+	"repro/internal/min"
+	"repro/internal/noc"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// --- one bench per table/figure ---
+
+func BenchmarkTable1(b *testing.B) {
+	p := experiments.DefaultTable1Params()
+	p.Fig4.Cycles = 200_000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFig4(b *testing.B, panel string) {
+	p := experiments.DefaultFig4Params()
+	p.Cycles = 200_000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(p, panel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4a(b *testing.B) { benchFig4(b, "a") }
+func BenchmarkFig4b(b *testing.B) { benchFig4(b, "b") }
+func BenchmarkFig4c(b *testing.B) { benchFig4(b, "c") }
+func BenchmarkFig4d(b *testing.B) { benchFig4(b, "d") }
+
+func benchFig5(b *testing.B, panel string) {
+	p := experiments.DefaultFig5Params()
+	p.BurstCycles = 5_000
+	p.Intensities = []float64{1.0, 1.15, 1.3}
+	p.Repeats = 2
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(p, panel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5a(b *testing.B) { benchFig5(b, "a") }
+func BenchmarkFig5b(b *testing.B) { benchFig5(b, "b") }
+
+func BenchmarkFig6(b *testing.B) {
+	p := experiments.DefaultFig6Params()
+	p.Cycles = 100_000
+	p.Intervals = 1_000
+	p.MaxFlows = 6
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 3 is a trace artifact: benchmark regenerating it.
+func BenchmarkFig3Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := core.New()
+		rec := &core.TraceRecorder{}
+		e.SetTrace(rec)
+		d := harness.New(3, e)
+		for _, l := range []int{32, 8, 8, 8, 8} {
+			d.Arrive(flit.Packet{Flow: 0, Length: l})
+		}
+		for _, l := range []int{16, 8, 8, 8, 8} {
+			d.Arrive(flit.Packet{Flow: 1, Length: l})
+		}
+		for _, l := range []int{12, 20, 4, 4, 4} {
+			d.Arrive(flit.Packet{Flow: 2, Length: l})
+		}
+		d.Drain()
+		if err := rec.WriteTable(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md design-choice experiments) ---
+
+func BenchmarkAblationOccupancy(b *testing.B) {
+	p := experiments.DefaultAblationOccupancyParams()
+	p.Cycles = 200_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationOccupancy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSurplusReset(b *testing.B) {
+	p := experiments.DefaultAblationSurplusResetParams()
+	p.Cycles = 200_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationSurplusReset(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension experiments ---
+
+func BenchmarkFig6Ext(b *testing.B) {
+	p := experiments.DefaultFig6ExtParams()
+	p.Cycles = 100_000
+	p.Intervals = 500
+	p.PLarges = []float64{0.5, 0.05}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6Ext(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParkingLot(b *testing.B) {
+	p := experiments.DefaultParkingLotParams()
+	p.Cycles = 100_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunParkingLot(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLR(b *testing.B) {
+	p := experiments.DefaultLRParams()
+	p.Cycles = 100_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLR(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedERR(b *testing.B) {
+	p := experiments.DefaultWeightedParams()
+	p.Cycles = 200_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunWeighted(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGap(b *testing.B) {
+	p := experiments.DefaultGapParams()
+	p.Cycles = 200_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGap(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoCSweep(b *testing.B) {
+	p := experiments.DefaultNoCSweepParams()
+	p.Rates = []float64{0.01, 0.03}
+	p.WarmCycles = 10_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunNoCSweep(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Theorem 1: O(1) work complexity with respect to n ---
+//
+// Per-packet scheduling cost must stay flat as the number of flows
+// grows for ERR and DRR, and grow ~log n for the timestamp
+// disciplines. Reported as ns/op at n = 8 .. 4096 flows.
+
+func benchWorkComplexity(b *testing.B, mk func() sched.Scheduler) {
+	for _, n := range []int{8, 64, 512, 4096} {
+		b.Run(benchName(n), func(b *testing.B) {
+			d := harness.New(n, mk())
+			src := rng.New(1)
+			dist := rng.NewUniform(1, 64)
+			// Pre-backlog every flow.
+			for f := 0; f < n; f++ {
+				for k := 0; k < 4; k++ {
+					d.Arrive(flit.Packet{Flow: f, Length: dist.Draw(src)})
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := d.ServeOne()
+				// Keep the system in steady state: one in, one out.
+				d.Arrive(flit.Packet{Flow: p.Flow, Length: dist.Draw(src)})
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	switch n {
+	case 8:
+		return "n=8"
+	case 64:
+		return "n=64"
+	case 512:
+		return "n=512"
+	default:
+		return "n=4096"
+	}
+}
+
+func BenchmarkWorkComplexityERR(b *testing.B) {
+	benchWorkComplexity(b, func() sched.Scheduler { return core.New() })
+}
+
+func BenchmarkWorkComplexityDRR(b *testing.B) {
+	benchWorkComplexity(b, func() sched.Scheduler { return sched.NewDRR(64, nil) })
+}
+
+func BenchmarkWorkComplexityWFQ(b *testing.B) {
+	benchWorkComplexity(b, func() sched.Scheduler { return sched.NewWFQ(nil) })
+}
+
+func BenchmarkWorkComplexityPBRR(b *testing.B) {
+	benchWorkComplexity(b, func() sched.Scheduler { return sched.NewPBRR() })
+}
+
+// --- substrate throughput ---
+
+func BenchmarkEngineCycleERR(b *testing.B) {
+	src := rng.New(3)
+	e, err := engine.NewEngine(engine.Config{
+		Flows:     8,
+		Scheduler: core.New(),
+		Source: traffic.NewMulti(
+			traffic.NewBacklogged(0, 4, rng.NewUniform(1, 64), src.Split()),
+			traffic.NewBacklogged(1, 4, rng.NewUniform(1, 64), src.Split()),
+			traffic.NewBacklogged(2, 4, rng.NewUniform(1, 128), src.Split()),
+			traffic.NewBacklogged(3, 4, rng.NewUniform(1, 64), src.Split()),
+			traffic.NewBacklogged(4, 4, rng.NewUniform(1, 64), src.Split()),
+			traffic.NewBacklogged(5, 4, rng.NewUniform(1, 64), src.Split()),
+			traffic.NewBacklogged(6, 4, rng.NewUniform(1, 64), src.Split()),
+			traffic.NewBacklogged(7, 4, rng.NewUniform(1, 64), src.Split()),
+		),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	e.Run(int64(b.N))
+}
+
+func BenchmarkOmegaStep(b *testing.B) {
+	net, err := min.NewOmega(min.Config{
+		Terminals: 16, VCs: 2, BufFlits: 8,
+		NewArb: func() sched.Scheduler { return core.New() },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for term := 0; term < 16; term++ {
+			if net.PendingAt(term) < 2 && src.Bernoulli(0.02) {
+				d := src.Intn(15)
+				if d >= term {
+					d++
+				}
+				net.Send(term, d, src.IntRange(1, 8))
+			}
+		}
+		net.Step()
+	}
+}
+
+func BenchmarkDAMQPushPop(b *testing.B) {
+	buf := damq.New(64, 4, 2)
+	f := flit.Flit{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i & 3
+		if !buf.Push(q, f, 0) {
+			for !buf.Empty(q) {
+				buf.Pop(q)
+			}
+		}
+	}
+}
+
+func BenchmarkMeshStep(b *testing.B) {
+	m, err := noc.NewMesh(noc.Config{
+		K: 4, VCs: 2, BufFlits: 8,
+		NewArb: func() sched.Scheduler { return core.New() },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(5)
+	inj := noc.NewInjector(m, 0.02, noc.Uniform{Nodes: m.Nodes()}, rng.NewUniform(1, 8), src)
+	inj.MaxPending = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Step()
+		m.Step()
+	}
+}

@@ -1,0 +1,223 @@
+// Command errsim regenerates the tables and figures of "Fair and
+// Efficient Packet Scheduling in Wormhole Networks" (Kanhere, Parekh
+// & Sethu, IPDPS 2000) from the reproduction library.
+//
+// Usage:
+//
+//	errsim -exp table1|fig4a|fig4b|fig4c|fig4d|fig4|fig5a|fig5b|fig5|fig6|occupancy|screset [flags]
+//
+// Paper-scale parameters are the defaults; -cycles scales the main
+// run length down for quick looks. Output is an ASCII rendering of
+// the table/figure followed by a CSV block for external plotting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// renderer is the common shape of every experiment result.
+type renderer interface {
+	Render(io.Writer) error
+}
+
+// emit writes a result as its ASCII/CSV rendering or, with -json, as
+// an indented JSON document of the full result struct.
+func emit(w io.Writer, res renderer, asJSON bool) error {
+	if !asJSON {
+		return res.Render(w)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func main() {
+	var (
+		exp       = flag.String("exp", "table1", "experiment: table1, fig4a..d, fig4, fig5a, fig5b, fig5, fig6, fig6ext, occupancy, screset, weighted, gap, nocsweep, nocsweep-torus, parkinglot, lr")
+		cycles    = flag.Int64("cycles", 0, "override the experiment's main run length in cycles (0 = paper scale)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		intervals = flag.Int("intervals", 0, "fig6: random intervals to average over (0 = paper's 10000)")
+		repeats   = flag.Int("repeats", 0, "fig5: seeds to average each point over (0 = default 5)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of ASCII/CSV")
+	)
+	flag.Parse()
+	if err := run(*exp, *cycles, *seed, *intervals, *repeats, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON bool) error {
+	out := os.Stdout
+	switch exp {
+	case "table1":
+		p := experiments.DefaultTable1Params()
+		p.Fig4.Seed = seed
+		if cycles > 0 {
+			p.Fig4.Cycles = cycles
+		}
+		res, err := experiments.RunTable1(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "fig4", "fig4a", "fig4b", "fig4c", "fig4d":
+		panel := "all"
+		if len(exp) == 5 {
+			panel = exp[4:]
+		}
+		p := experiments.DefaultFig4Params()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		res, err := experiments.RunFig4(p, panel)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "fig5", "fig5a", "fig5b":
+		panel := "all"
+		if len(exp) == 5 {
+			panel = exp[4:]
+		}
+		p := experiments.DefaultFig5Params()
+		p.Seed = seed
+		if cycles > 0 {
+			p.BurstCycles = cycles
+		}
+		if repeats > 0 {
+			p.Repeats = repeats
+		}
+		res, err := experiments.RunFig5(p, panel)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "fig6":
+		p := experiments.DefaultFig6Params()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		if intervals > 0 {
+			p.Intervals = intervals
+		}
+		res, err := experiments.RunFig6(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "fig6ext":
+		p := experiments.DefaultFig6ExtParams()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		if intervals > 0 {
+			p.Intervals = intervals
+		}
+		res, err := experiments.RunFig6Ext(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "occupancy":
+		p := experiments.DefaultAblationOccupancyParams()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		res, err := experiments.RunAblationOccupancy(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "screset":
+		p := experiments.DefaultAblationSurplusResetParams()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		res, err := experiments.RunAblationSurplusReset(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "weighted":
+		p := experiments.DefaultWeightedParams()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		res, err := experiments.RunWeighted(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "gap":
+		p := experiments.DefaultGapParams()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		res, err := experiments.RunGap(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "nocsweep", "nocsweep-torus":
+		p := experiments.DefaultNoCSweepParams()
+		p.Seed = seed
+		p.Torus = exp == "nocsweep-torus"
+		if cycles > 0 {
+			p.WarmCycles = cycles
+		}
+		res, err := experiments.RunNoCSweep(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "parkinglot":
+		p := experiments.DefaultParkingLotParams()
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		res, err := experiments.RunParkingLot(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	case "lr":
+		p := experiments.DefaultLRParams()
+		p.Seed = seed
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		res, err := experiments.RunLR(p)
+		if err != nil {
+			return err
+		}
+		return emit(out, res, asJSON)
+
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

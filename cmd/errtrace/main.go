@@ -1,0 +1,68 @@
+// Command errtrace prints a round-by-round trace of an Elastic Round
+// Robin execution — the content of the paper's Figure 3: for every
+// round, each flow's allowance A_i(r), the flits it sent, and its
+// surplus count SC_i(r), plus the round's MaxSC.
+//
+// By default it traces the deterministic 3-flow example documented in
+// DESIGN.md; with -random it traces a seeded random workload instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/harness"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		random  = flag.Bool("random", false, "trace a random workload instead of the fixed example")
+		flows   = flag.Int("flows", 3, "flows in the random workload")
+		packets = flag.Int("packets", 10, "packets per flow in the random workload")
+		maxLen  = flag.Int("maxlen", 32, "maximum packet length in the random workload")
+		seed    = flag.Uint64("seed", 1, "seed for the random workload")
+	)
+	flag.Parse()
+
+	e := core.New()
+	rec := &core.TraceRecorder{}
+	e.SetTrace(rec)
+
+	if *random {
+		d := harness.New(*flows, e)
+		src := rng.New(*seed)
+		dist := rng.NewUniform(1, *maxLen)
+		for i := 0; i < *packets; i++ {
+			for f := 0; f < *flows; f++ {
+				d.Arrive(flit.Packet{Flow: f, Length: dist.Draw(src)})
+			}
+		}
+		d.Drain()
+	} else {
+		// The fixed example from DESIGN.md / the Figure 3 golden test:
+		// three backlogged flows with deterministic packet lengths.
+		d := harness.New(3, e)
+		for _, l := range []int{32, 8, 8, 8, 8} {
+			d.Arrive(flit.Packet{Flow: 0, Length: l})
+		}
+		for _, l := range []int{16, 8, 8, 8, 8} {
+			d.Arrive(flit.Packet{Flow: 1, Length: l})
+		}
+		for _, l := range []int{12, 20, 4, 4, 4} {
+			d.Arrive(flit.Packet{Flow: 2, Length: l})
+		}
+		d.Drain()
+	}
+
+	fmt.Println("Figure 3 — rounds of an Elastic Round Robin execution")
+	fmt.Println("A_i(r) = 1 + MaxSC(r-1) - SC_i(r-1);  SC_i(r) = Sent_i(r) - A_i(r)")
+	fmt.Println()
+	if err := rec.WriteTable(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "errtrace: %v\n", err)
+		os.Exit(1)
+	}
+}

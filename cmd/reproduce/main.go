@@ -1,0 +1,186 @@
+// Command reproduce regenerates every artifact of the reproduction —
+// Table 1, Figures 3-6, the ablations and the extension experiments —
+// writing one text file per artifact into an output directory. With
+// -quick the run lengths are scaled down ~10x for a fast smoke
+// reproduction; the default is paper scale.
+//
+//	go run ./cmd/reproduce -out results [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/flit"
+	"repro/internal/harness"
+)
+
+// renderer is the common shape of experiment results.
+type renderer interface {
+	Render(io.Writer) error
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		quick = flag.Bool("quick", false, "scale run lengths down ~10x")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*out, *quick, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, quick bool, seed uint64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	scale := func(cycles int64) int64 {
+		if quick {
+			return cycles / 10
+		}
+		return cycles
+	}
+
+	steps := []struct {
+		file string
+		gen  func() (renderer, error)
+	}{
+		{"fig3.txt", func() (renderer, error) { return fig3Trace(), nil }},
+		{"table1.txt", func() (renderer, error) {
+			p := experiments.DefaultTable1Params()
+			p.Fig4.Seed = seed
+			p.Fig4.Cycles = scale(p.Fig4.Cycles)
+			return experiments.RunTable1(p)
+		}},
+		{"fig4.txt", func() (renderer, error) {
+			p := experiments.DefaultFig4Params()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunFig4(p, "all")
+		}},
+		{"fig5.txt", func() (renderer, error) {
+			p := experiments.DefaultFig5Params()
+			p.Seed = seed
+			if quick {
+				p.Repeats = 2
+			}
+			return experiments.RunFig5(p, "all")
+		}},
+		{"fig6.txt", func() (renderer, error) {
+			p := experiments.DefaultFig6Params()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			if quick {
+				p.Intervals = 2000
+			}
+			return experiments.RunFig6(p)
+		}},
+		{"fig6ext.txt", func() (renderer, error) {
+			p := experiments.DefaultFig6ExtParams()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunFig6Ext(p)
+		}},
+		{"occupancy.txt", func() (renderer, error) {
+			p := experiments.DefaultAblationOccupancyParams()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunAblationOccupancy(p)
+		}},
+		{"screset.txt", func() (renderer, error) {
+			p := experiments.DefaultAblationSurplusResetParams()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunAblationSurplusReset(p)
+		}},
+		{"weighted.txt", func() (renderer, error) {
+			p := experiments.DefaultWeightedParams()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunWeighted(p)
+		}},
+		{"gap.txt", func() (renderer, error) {
+			p := experiments.DefaultGapParams()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunGap(p)
+		}},
+		{"lr.txt", func() (renderer, error) {
+			p := experiments.DefaultLRParams()
+			p.Seed = seed
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunLR(p)
+		}},
+		{"parkinglot.txt", func() (renderer, error) {
+			p := experiments.DefaultParkingLotParams()
+			p.Cycles = scale(p.Cycles)
+			return experiments.RunParkingLot(p)
+		}},
+		{"nocsweep.txt", func() (renderer, error) {
+			p := experiments.DefaultNoCSweepParams()
+			p.Seed = seed
+			p.WarmCycles = scale(p.WarmCycles)
+			return experiments.RunNoCSweep(p)
+		}},
+	}
+
+	for _, s := range steps {
+		start := time.Now()
+		res, err := s.gen()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.file, err)
+		}
+		f, err := os.Create(filepath.Join(outDir, s.file))
+		if err != nil {
+			return err
+		}
+		if err := res.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %-16s (%.1fs)\n", s.file, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// fig3Renderer wraps the deterministic Figure 3 trace.
+type fig3Renderer struct{ rec *core.TraceRecorder }
+
+// Render implements renderer.
+func (f fig3Renderer) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Figure 3 — rounds of an Elastic Round Robin execution"); err != nil {
+		return err
+	}
+	return f.rec.WriteTable(w)
+}
+
+// fig3Trace replays the DESIGN.md Figure 3 example.
+func fig3Trace() renderer {
+	e := core.New()
+	rec := &core.TraceRecorder{}
+	e.SetTrace(rec)
+	d := harness.New(3, e)
+	for _, l := range []int{32, 8, 8, 8, 8} {
+		d.Arrive(flit.Packet{Flow: 0, Length: l})
+	}
+	for _, l := range []int{16, 8, 8, 8, 8} {
+		d.Arrive(flit.Packet{Flow: 1, Length: l})
+	}
+	for _, l := range []int{12, 20, 4, 4, 4} {
+		d.Arrive(flit.Packet{Flow: 2, Length: l})
+	}
+	d.Drain()
+	return fig3Renderer{rec: rec}
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Fair and
+// Efficient Packet Scheduling in Wormhole Networks" (Salil S.
+// Kanhere, Alpa B. Parekh, Harish Sethu; IPDPS 2000): the Elastic
+// Round Robin (ERR) scheduler, every baseline discipline the paper
+// compares against, a flit-level wormhole switch and mesh NoC
+// substrate, and a harness that regenerates every table and figure in
+// the paper's evaluation.
+//
+// Start with README.md for the layout, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured results. The root package holds only the
+// repository-level benchmarks (bench_test.go); the implementation
+// lives under internal/ and the runnable entry points under cmd/ and
+// examples/.
+package repro

@@ -1,0 +1,60 @@
+// Mesh example: ERR arbitration inside a 4x4 wormhole NoC.
+//
+// Every node floods a central hotspot. One unlucky node sends long
+// packets, which under plain packet-based round-robin arbitration
+// (PBRR) buys it extra bandwidth on every contended link. With ERR
+// arbitrating each router output, shares of the hotspot's ejection
+// link even out.
+//
+// Run with: go run ./examples/mesh
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sched"
+)
+
+func run(name string, newArb func() sched.Scheduler) {
+	m, err := noc.NewMesh(noc.Config{K: 4, VCs: 2, BufFlits: 8, NewArb: newArb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := m.NodeID(1, 1)
+	// (3,0) and (0,3) are mirror images w.r.t. the hotspot (same hop
+	// distance, symmetric contention); (3,0) sends 8x-long packets.
+	longSender := m.NodeID(3, 0)
+	twin := m.NodeID(0, 3)
+	for c := 0; c < 150_000; c++ {
+		for node := 0; node < m.Nodes(); node++ {
+			if node == hot {
+				continue
+			}
+			if m.PendingAt(node) < 2 {
+				length := 2
+				if node == longSender {
+					length = 16 // 8x longer packets
+				}
+				m.Send(node, hot, length)
+			}
+		}
+		m.Step()
+	}
+
+	long := float64(m.DeliveredFlits[longSender])
+	short := float64(m.DeliveredFlits[twin])
+	fmt.Printf("%-5s mean latency %7.1f cycles | flits from long-packet node (3,0): %6.0f, from its twin (0,3): %6.0f  (ratio %.2f)\n",
+		name, m.Latency.Mean(), long, short, long/short)
+}
+
+func main() {
+	fmt.Println("4x4 mesh, all nodes flooding hotspot (1,1); node (3,0) sends 8x-long packets")
+	run("ERR", func() sched.Scheduler { return core.New() })
+	run("PBRR", func() sched.Scheduler { return sched.NewPBRR() })
+	fmt.Println("\nPBRR grants one packet per visit, so the long-packet node outdelivers")
+	fmt.Println("its mirror-image twin on every contended link; ERR equalises the")
+	fmt.Println("cycles each source occupies, pulling the ratio back toward 1.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: schedule three flows with Elastic Round Robin.
+//
+// Three flows with very different packet sizes share one output that
+// forwards one flit per cycle. ERR needs no packet lengths in advance
+// and still gives each flow an equal share of the output.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/flit"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/traffic"
+)
+
+func main() {
+	src := rng.New(42)
+
+	// Three always-backlogged flows: tiny, medium and huge packets.
+	source := traffic.NewMulti(
+		traffic.NewBacklogged(0, 4, rng.Constant{Length: 2}, src.Split()),
+		traffic.NewBacklogged(1, 4, rng.NewUniform(8, 24), src.Split()),
+		traffic.NewBacklogged(2, 4, rng.NewUniform(48, 64), src.Split()),
+	)
+
+	throughput := metrics.NewThroughputTable(3, flit.DefaultFlitBytes)
+	e, err := engine.NewEngine(engine.Config{
+		Flows:     3,
+		Scheduler: core.New(), // the paper's ERR, Figure 1 verbatim
+		Source:    source,
+		OnFlit:    func(cycle int64, flow int) { throughput.Serve(flow, 1) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const cycles = 100_000
+	e.Run(cycles)
+
+	fmt.Printf("ERR over %d cycles (1 flit/cycle):\n", cycles)
+	for f := 0; f < 3; f++ {
+		fmt.Printf("  flow %d: %6d flits  (%.1f KB)\n", f, throughput.Flits(f), throughput.KBytes(f))
+	}
+	fmt.Println("\nEach flow holds 1/3 of the output despite 30x packet-size differences,")
+	fmt.Println("and ERR never looked at a packet length before dequeuing it.")
+}

@@ -1,0 +1,160 @@
+// Package analysis provides the paper's analytical results as
+// executable artifacts: closed-form bound calculators for the
+// fairness measures of Table 1, service bounds from Theorem 2, and a
+// verifier that checks any recorded ERR execution against Lemma 1,
+// Corollary 1, Theorem 2 and Theorem 3. The tests of package core
+// check the theorems on random runs; this package makes the same
+// checks available to users auditing their own workloads.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ERRFairnessBound returns the Theorem 3 bound on ERR's relative
+// fairness measure: 3m, where m is the largest packet (in flits, or
+// occupancy cycles in wormhole mode) that actually arrived.
+func ERRFairnessBound(m int64) int64 { return 3 * m }
+
+// DRRFairnessBound returns DRR's relative fairness bound from the
+// paper's Table 1: Max + 2m, where Max is the largest packet that may
+// potentially arrive (the quantum must be provisioned for it).
+func DRRFairnessBound(m, max int64) int64 { return max + 2*m }
+
+// FQFairnessBound returns the Table 1 bound for (ideal) Fair Queuing.
+func FQFairnessBound(m int64) int64 { return m }
+
+// SurplusBound returns the Lemma 1 bound on any surplus count: m-1.
+func SurplusBound(m int64) int64 { return m - 1 }
+
+// ServiceBounds returns the Theorem 2 bounds on the flits N a
+// continuously active flow sends over n consecutive rounds starting
+// at round k:
+//
+//	n + Σ_{r=k-1}^{k+n-2} MaxSC(r) - (m-1) <= N <= ... + (m-1)
+//
+// maxSCByRound[r] must hold MaxSC(r) for r in [k-1, k+n-2] (index by
+// round number; MaxSC(0) = 0).
+func ServiceBounds(n, k int64, maxSCByRound map[int64]int64, m int64) (lo, hi int64) {
+	var sum int64
+	for r := k - 1; r <= k+n-2; r++ {
+		if r >= 1 {
+			sum += maxSCByRound[r]
+		}
+	}
+	return n + sum - (m - 1), n + sum + (m - 1)
+}
+
+// VerifyTrace checks a recorded ERR execution against the paper's
+// analytical results:
+//
+//   - Lemma 1 / Corollary 1: every surplus count in [0, m-1] (the
+//     lower bound is waived for opportunities that drained the flow,
+//     where Figure 1 resets SC to zero);
+//   - allowance positivity: every A_i(r) >= 1 (the "+1" guarantee);
+//   - Theorem 2: for every flow present in every round of a window of
+//     up to maxWindow consecutive complete rounds, the service bounds
+//     hold.
+//
+// m is the largest packet cost that occurred during the run. It
+// returns nil when every check passes.
+func VerifyTrace(rec *core.TraceRecorder, m int64, maxWindow int) error {
+	if m < 1 {
+		return fmt.Errorf("analysis: m must be >= 1")
+	}
+	if len(rec.Events) == 0 {
+		return nil
+	}
+	for _, ev := range rec.Events {
+		if ev.Allowance < 1 {
+			return fmt.Errorf("analysis: allowance %d < 1 (flow %d, round %d)",
+				ev.Allowance, ev.Flow, ev.Round)
+		}
+		if ev.Surplus > m-1 {
+			return fmt.Errorf("analysis: surplus %d > m-1 = %d (flow %d, round %d)",
+				ev.Surplus, m-1, ev.Flow, ev.Round)
+		}
+		if !ev.Left && ev.Surplus < 0 {
+			return fmt.Errorf("analysis: negative surplus %d without drain (flow %d, round %d)",
+				ev.Surplus, ev.Flow, ev.Round)
+		}
+	}
+	// Theorem 2 on complete rounds.
+	last := rec.Events[len(rec.Events)-1].Round
+	complete := last - 1
+	if complete < 1 || maxWindow < 1 {
+		return nil
+	}
+	maxSC := map[int64]int64{}
+	sent := map[int64]map[int]int64{}
+	present := map[int64]map[int]bool{}
+	for _, ev := range rec.Events {
+		if ev.Round > complete {
+			continue
+		}
+		if ev.Surplus > maxSC[ev.Round] {
+			maxSC[ev.Round] = ev.Surplus
+		}
+		if sent[ev.Round] == nil {
+			sent[ev.Round] = map[int]int64{}
+			present[ev.Round] = map[int]bool{}
+		}
+		sent[ev.Round][ev.Flow] += ev.Sent
+		present[ev.Round][ev.Flow] = true
+	}
+	for k := int64(1); k <= complete; k++ {
+		for n := int64(1); n <= int64(maxWindow) && k+n-1 <= complete; n++ {
+			lo, hi := ServiceBounds(n, k, maxSC, m)
+			// Only flows active in every round of the window — and
+			// never draining inside it — are covered by Theorem 2.
+			for flow := range present[k] {
+				ok := true
+				var N int64
+				for r := k; r <= k+n-1; r++ {
+					if !present[r][flow] {
+						ok = false
+						break
+					}
+					N += sent[r][flow]
+				}
+				if !ok {
+					continue
+				}
+				if drainsWithin(rec, flow, k, k+n-1) {
+					continue
+				}
+				if N < lo || N > hi {
+					return fmt.Errorf("analysis: Theorem 2 violated: flow %d rounds [%d,%d]: N=%d not in [%d,%d]",
+						flow, k, k+n-1, N, lo, hi)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// drainsWithin reports whether flow drained (left the active list)
+// during rounds [k, k2].
+func drainsWithin(rec *core.TraceRecorder, flow int, k, k2 int64) bool {
+	for _, ev := range rec.Events {
+		if ev.Flow == flow && ev.Left && ev.Round >= k && ev.Round <= k2 {
+			return true
+		}
+	}
+	return false
+}
+
+// FairnessVerdict compares a measured fairness value against a bound,
+// producing the Table 1 verdict string used by the tooling.
+func FairnessVerdict(measured, bound int64) string {
+	switch {
+	case bound <= 0:
+		return "unbounded discipline"
+	case measured < bound:
+		return fmt.Sprintf("holds (%d < %d)", measured, bound)
+	default:
+		return fmt.Sprintf("VIOLATED (%d >= %d)", measured, bound)
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/harness"
+	"repro/internal/rng"
+)
+
+func TestBoundFormulas(t *testing.T) {
+	if ERRFairnessBound(128) != 384 {
+		t.Error("ERR bound wrong")
+	}
+	if DRRFairnessBound(128, 128) != 384 {
+		t.Error("DRR bound wrong")
+	}
+	if FQFairnessBound(64) != 64 {
+		t.Error("FQ bound wrong")
+	}
+	if SurplusBound(128) != 127 {
+		t.Error("surplus bound wrong")
+	}
+}
+
+func TestServiceBounds(t *testing.T) {
+	maxSC := map[int64]int64{1: 10, 2: 5, 3: 0}
+	// Window of 2 rounds starting at round 2: sum over r=1..2 = 15.
+	lo, hi := ServiceBounds(2, 2, maxSC, 8)
+	if lo != 2+15-7 || hi != 2+15+7 {
+		t.Errorf("bounds (%d,%d), want (10,24)", lo, hi)
+	}
+	// Window starting at round 1 includes MaxSC(0) = 0 implicitly.
+	lo, hi = ServiceBounds(1, 1, maxSC, 8)
+	if lo != 1-7 || hi != 1+7 {
+		t.Errorf("bounds (%d,%d), want (-6,8)", lo, hi)
+	}
+}
+
+func runTraced(t *testing.T, seed uint64, flows, packets, maxLen int) (*core.TraceRecorder, int64) {
+	t.Helper()
+	e := core.New()
+	rec := &core.TraceRecorder{}
+	e.SetTrace(rec)
+	d := harness.New(flows, e)
+	src := rng.New(seed)
+	dist := rng.NewUniform(1, maxLen)
+	var m int64
+	for i := 0; i < packets; i++ {
+		for f := 0; f < flows; f++ {
+			l := dist.Draw(src)
+			if int64(l) > m {
+				m = int64(l)
+			}
+			d.Arrive(flit.Packet{Flow: f, Length: l})
+		}
+	}
+	d.Drain()
+	return rec, m
+}
+
+func TestVerifyTraceAcceptsRealRuns(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		rec, m := runTraced(t, seed, 4, 300, 40)
+		if err := VerifyTrace(rec, m, 4); err != nil {
+			t.Fatalf("seed %d: genuine ERR run rejected: %v", seed, err)
+		}
+	}
+}
+
+func TestVerifyTraceEmptyAndValidation(t *testing.T) {
+	if err := VerifyTrace(&core.TraceRecorder{}, 5, 3); err != nil {
+		t.Errorf("empty trace rejected: %v", err)
+	}
+	if err := VerifyTrace(&core.TraceRecorder{}, 0, 3); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestVerifyTraceCatchesSurplusViolation(t *testing.T) {
+	rec := &core.TraceRecorder{}
+	rec.RoundStart(1, 0, 1)
+	rec.Opportunity(1, 0, 1, 100, 99, false)
+	// Claim m=50: surplus 99 > m-1 = 49 must be caught.
+	if err := VerifyTrace(rec, 50, 2); err == nil || !strings.Contains(err.Error(), "surplus") {
+		t.Errorf("surplus violation not caught: %v", err)
+	}
+}
+
+func TestVerifyTraceCatchesZeroAllowance(t *testing.T) {
+	rec := &core.TraceRecorder{}
+	rec.RoundStart(1, 0, 1)
+	rec.Opportunity(1, 0, 0, 5, 5, false)
+	if err := VerifyTrace(rec, 50, 2); err == nil || !strings.Contains(err.Error(), "allowance") {
+		t.Errorf("zero allowance not caught: %v", err)
+	}
+}
+
+func TestVerifyTraceCatchesNegativeSurplusWithoutDrain(t *testing.T) {
+	rec := &core.TraceRecorder{}
+	rec.RoundStart(1, 0, 1)
+	rec.Opportunity(1, 0, 10, 5, -5, false)
+	if err := VerifyTrace(rec, 50, 2); err == nil || !strings.Contains(err.Error(), "negative surplus") {
+		t.Errorf("negative surplus not caught: %v", err)
+	}
+}
+
+func TestVerifyTraceCatchesTheorem2Violation(t *testing.T) {
+	// A fabricated trace where round 2 serves 9 flits with m = 2:
+	// the Theorem 2 upper bound for the window [2,2] is
+	// 1 + MaxSC(1) + (m-1) = 1 + 0 + 1 = 2, so N = 9 must be caught.
+	// (The surplus in that opportunity is kept at 1 <= m-1 so the
+	// Lemma 1 checks pass and the Theorem 2 check does the work.)
+	rec := &core.TraceRecorder{}
+	rec.RoundStart(1, 0, 1)
+	rec.Opportunity(1, 0, 1, 1, 0, false)
+	rec.RoundStart(2, 0, 1)
+	rec.Opportunity(2, 0, 1, 9, 1, false)
+	rec.RoundStart(3, 1, 1)
+	rec.Opportunity(3, 0, 1, 1, 0, false)
+	if err := VerifyTrace(rec, 2, 2); err == nil || !strings.Contains(err.Error(), "Theorem 2") {
+		t.Errorf("Theorem 2 violation not caught: %v", err)
+	}
+}
+
+func TestFairnessVerdict(t *testing.T) {
+	if got := FairnessVerdict(100, 384); !strings.Contains(got, "holds") {
+		t.Errorf("verdict %q", got)
+	}
+	if got := FairnessVerdict(400, 384); !strings.Contains(got, "VIOLATED") {
+		t.Errorf("verdict %q", got)
+	}
+	if got := FairnessVerdict(400, 0); !strings.Contains(got, "unbounded") {
+		t.Errorf("verdict %q", got)
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/harness"
+)
+
+// TestAccessors exercises the inspection surface used by tooling and
+// verifies its values against a hand-traced execution.
+func TestAccessors(t *testing.T) {
+	e := core.New()
+	if e.Name() != "ERR" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.CurrentFlow() != -1 || e.Round() != 0 || e.ActiveFlows() != 0 {
+		t.Error("fresh scheduler state wrong")
+	}
+	if e.SurplusCount(42) != 0 {
+		t.Error("unknown flow surplus should read 0")
+	}
+
+	d := harness.New(2, e)
+	d.Arrive(flit.Packet{Flow: 0, Length: 5})
+	d.Arrive(flit.Packet{Flow: 0, Length: 5})
+	d.Arrive(flit.Packet{Flow: 0, Length: 5})
+	d.Arrive(flit.Packet{Flow: 1, Length: 2})
+	if e.ActiveFlows() != 2 {
+		t.Errorf("ActiveFlows = %d, want 2", e.ActiveFlows())
+	}
+	d.ServeOne() // flow 0: A=1, sent 5, SC=4, stays active
+	if e.Round() != 1 {
+		t.Errorf("Round = %d, want 1", e.Round())
+	}
+	if got := e.SurplusCount(0); got != 4 {
+		t.Errorf("SurplusCount(0) = %d, want 4", got)
+	}
+	if got := e.MaxSC(); got != 4 {
+		t.Errorf("MaxSC = %d, want 4", got)
+	}
+	if got := e.VisitsLeft(); got != 1 {
+		t.Errorf("VisitsLeft = %d, want 1", got)
+	}
+	d.ServeOne() // flow 1 drains: SC reset, leaves
+	if got := e.SurplusCount(1); got != 0 {
+		t.Errorf("drained flow SC = %d, want 0", got)
+	}
+	// Round 2 begins on the next service; PrevMaxSC snapshots 4
+	// (flow 0 still has a queued packet, so no idle reset occurs).
+	d.ServeOne()
+	if got := e.PrevMaxSC(); got != 4 {
+		t.Errorf("PrevMaxSC = %d, want 4", got)
+	}
+	if e.CurrentFlow() != -1 {
+		t.Error("no flow should be mid-service between packets")
+	}
+	// Draining the last packet idles the system and resets the round
+	// state (the Initialize semantics across idle periods).
+	d.Drain()
+	if e.Round() != 0 || e.PrevMaxSC() != 0 || e.MaxSC() != 0 {
+		t.Error("idle reset did not clear round state")
+	}
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/harness"
+)
+
+// Example shows ERR serving three flows without ever seeing a packet
+// length before dequeuing it, printing the Figure 3-style round
+// trace.
+func Example() {
+	e := core.New()
+	rec := &core.TraceRecorder{}
+	e.SetTrace(rec)
+
+	d := harness.New(3, e)
+	d.Arrive(flit.Packet{Flow: 0, Length: 9})
+	d.Arrive(flit.Packet{Flow: 1, Length: 3})
+	d.Arrive(flit.Packet{Flow: 2, Length: 5})
+	d.Arrive(flit.Packet{Flow: 0, Length: 2})
+	d.Drain()
+
+	rec.WriteTable(os.Stdout)
+	// Output:
+	// Round 1 (PreviousMaxSC=0, visits=3)
+	//   flow 0: A=1    sent=9    SC=8
+	//   flow 1: A=1    sent=3    SC=2     [drained]
+	//   flow 2: A=1    sent=5    SC=4     [drained]
+	//   MaxSC=8
+	// Round 2 (PreviousMaxSC=8, visits=1)
+	//   flow 0: A=1    sent=2    SC=1     [drained]
+	//   MaxSC=1
+}
+
+// ExampleNewWeighted demonstrates proportional sharing with integer
+// weights.
+func ExampleNewWeighted() {
+	weights := []int64{1, 3}
+	e := core.NewWeighted(func(flow int) int64 { return weights[flow] })
+	d := harness.New(2, e)
+	for i := 0; i < 400; i++ {
+		d.Arrive(flit.Packet{Flow: 0, Length: 4})
+		d.Arrive(flit.Packet{Flow: 1, Length: 4})
+	}
+	d.ServeN(500)
+	fmt.Printf("flow1/flow0 service ratio ~ %.0f\n",
+		float64(d.Served(1))/float64(d.Served(0)))
+	// Output:
+	// flow1/flow0 service ratio ~ 3
+}

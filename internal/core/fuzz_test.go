@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/harness"
+)
+
+// FuzzERRInvariants drives ERR with an arbitrary interleaving of
+// arrivals and services decoded from the fuzz input, then verifies
+// the recorded trace against Lemma 1, the allowance guarantee and
+// Theorem 2 via the analysis verifier. Run with `go test -fuzz
+// FuzzERRInvariants ./internal/core` to explore; the seed corpus runs
+// as part of the normal test suite.
+func FuzzERRInvariants(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x10, 0xFF, 0x07, 0x23})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x22, 0x33})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const flows = 4
+		e := core.New()
+		rec := &core.TraceRecorder{}
+		e.SetTrace(rec)
+		d := harness.New(flows, e)
+		var m int64 = 1
+		for _, b := range data {
+			if b&1 == 0 || d.Backlog() == 0 {
+				length := int(b>>3)%16 + 1
+				if int64(length) > m {
+					m = int64(length)
+				}
+				d.Arrive(flit.Packet{Flow: int(b>>1) % flows, Length: length})
+			} else {
+				d.ServeOne()
+			}
+		}
+		d.Drain()
+		if err := analysis.VerifyTrace(rec, m, 3); err != nil {
+			t.Fatalf("invariant violated: %v (input %x)", err, data)
+		}
+	})
+}
+
+// FuzzWeightedERRInvariants does the same for the weighted variant:
+// surplus counts stay within [0, m-1] and allowances at or above the
+// flow's weight.
+func FuzzWeightedERRInvariants(f *testing.F) {
+	f.Add([]byte{0x52, 0x12, 0x99, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const flows = 3
+		weights := []int64{1, 2, 3}
+		e := core.NewWeighted(func(fl int) int64 { return weights[fl] })
+		rec := &core.TraceRecorder{}
+		e.SetTrace(rec)
+		d := harness.New(flows, e)
+		var m int64 = 1
+		for _, b := range data {
+			if b&1 == 0 || d.Backlog() == 0 {
+				length := int(b>>3)%12 + 1
+				if int64(length) > m {
+					m = int64(length)
+				}
+				d.Arrive(flit.Packet{Flow: int(b>>1) % flows, Length: length})
+			} else {
+				d.ServeOne()
+			}
+		}
+		d.Drain()
+		for _, ev := range rec.Events {
+			if ev.Surplus > m-1 {
+				t.Fatalf("weighted surplus %d > m-1 = %d", ev.Surplus, m-1)
+			}
+			if ev.Allowance < weights[ev.Flow] {
+				t.Fatalf("weighted allowance %d < weight %d", ev.Allowance, weights[ev.Flow])
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// TestERRTracksGPS compares ERR's cumulative service for backlogged
+// flows against the fluid GPS ideal advanced at the same rate: the
+// lag |ERR_i(t) - GPS_i(t)| must stay bounded by a few maximal
+// packets for every flow at every packet boundary. This is the
+// "fairness relative to GPS" lens of Golestani that the paper's
+// relative measure descends from.
+func TestERRTracksGPS(t *testing.T) {
+	const n = 4
+	const m = 48
+	e := core.New()
+	d := harness.New(n, e)
+	g := sched.NewGPS(n, nil)
+
+	src := rng.New(13)
+	dist := rng.NewUniform(1, m)
+	for i := 0; i < 2000; i++ {
+		for f := 0; f < n; f++ {
+			l := dist.Draw(src)
+			d.Arrive(flit.Packet{Flow: f, Length: l})
+			g.Arrive(f, l)
+		}
+	}
+
+	served := make([]int64, n)
+	worstLag := 0.0
+	d.OnServe = func(p flit.Packet, cost int64) {
+		served[p.Flow] += int64(p.Length)
+		// Advance the fluid system by the same amount of capacity.
+		for i := 0; i < p.Length; i++ {
+			g.Step()
+		}
+		for f := 0; f < n; f++ {
+			lag := math.Abs(float64(served[f]) - g.Served(f))
+			if lag > worstLag {
+				worstLag = lag
+			}
+		}
+	}
+	// Keep all flows backlogged while measuring.
+	for {
+		stop := false
+		for f := 0; f < n; f++ {
+			if d.QueueLen(f) == 0 {
+				stop = true
+			}
+		}
+		if stop {
+			break
+		}
+		d.ServeOne()
+	}
+	// The GPS lag of a round-robin scheduler is bounded by roughly one
+	// round of service: (n-1) opportunities of up to ~2m flits each.
+	bound := float64((n - 1) * 3 * m)
+	if worstLag >= bound {
+		t.Errorf("worst GPS lag %.0f >= %d*3m = %.0f", worstLag, n-1, bound)
+	}
+	if worstLag == 0 {
+		t.Error("no lag measured — test not exercising the system")
+	}
+}

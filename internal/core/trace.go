@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RoundEvent is one flow's service opportunity as seen by a TraceRecorder.
+type RoundEvent struct {
+	Round     int64
+	Flow      int
+	Allowance int64
+	Sent      int64
+	Surplus   int64
+	Left      bool // the flow drained and left the active list
+}
+
+// RoundInfo describes the start of a round.
+type RoundInfo struct {
+	Round     int64
+	PrevMaxSC int64
+	Visits    int
+}
+
+// TraceRecorder collects ERR round events in memory. It powers the
+// golden tests of the paper's Figure 3 and cmd/errtrace.
+type TraceRecorder struct {
+	Rounds []RoundInfo
+	Events []RoundEvent
+}
+
+// RoundStart implements TraceSink.
+func (r *TraceRecorder) RoundStart(round, prevMaxSC int64, visits int) {
+	r.Rounds = append(r.Rounds, RoundInfo{Round: round, PrevMaxSC: prevMaxSC, Visits: visits})
+}
+
+// Opportunity implements TraceSink.
+func (r *TraceRecorder) Opportunity(round int64, flow int, allowance, sent, surplus int64, left bool) {
+	r.Events = append(r.Events, RoundEvent{
+		Round: round, Flow: flow,
+		Allowance: allowance, Sent: sent, Surplus: surplus, Left: left,
+	})
+}
+
+// EventsOfRound returns the opportunities of one round, in service
+// order.
+func (r *TraceRecorder) EventsOfRound(round int64) []RoundEvent {
+	var out []RoundEvent
+	for _, e := range r.Events {
+		if e.Round == round {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MaxSCOfRound returns MaxSC(round) — the largest surplus count among
+// the opportunities of that round (0 if the round has no events).
+func (r *TraceRecorder) MaxSCOfRound(round int64) int64 {
+	var max int64
+	for _, e := range r.Events {
+		if e.Round == round && e.Surplus > max {
+			max = e.Surplus
+		}
+	}
+	return max
+}
+
+// WriteTable renders the recorded rounds as the kind of table the
+// paper's Figure 3 depicts: per round, each flow's allowance, the
+// flits it sent, and its resulting surplus count.
+func (r *TraceRecorder) WriteTable(w io.Writer) error {
+	for _, ri := range r.Rounds {
+		if _, err := fmt.Fprintf(w, "Round %d (PreviousMaxSC=%d, visits=%d)\n",
+			ri.Round, ri.PrevMaxSC, ri.Visits); err != nil {
+			return err
+		}
+		for _, e := range r.EventsOfRound(ri.Round) {
+			mark := ""
+			if e.Left {
+				mark = "  [drained]"
+			}
+			line := fmt.Sprintf("  flow %d: A=%-4d sent=%-4d SC=%-4d%s",
+				e.Flow, e.Allowance, e.Sent, e.Surplus, mark)
+			if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  MaxSC=%d\n", r.MaxSCOfRound(ri.Round)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ TraceSink = (*TraceRecorder)(nil)

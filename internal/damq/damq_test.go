@@ -1,0 +1,243 @@
+package damq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+)
+
+func f(seq int) flit.Flit { return flit.Flit{Seq: seq} }
+
+func TestBasicFIFO(t *testing.T) {
+	b := New(8, 2, 1)
+	for i := 0; i < 4; i++ {
+		if !b.Push(0, f(i), int64(i)) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if b.Len(0) != 4 || b.Len(1) != 0 {
+		t.Fatal("occupancy wrong")
+	}
+	for i := 0; i < 4; i++ {
+		got, meta := b.Pop(0)
+		if got.Seq != i || meta != int64(i) {
+			t.Fatalf("pop %d: got seq %d meta %d", i, got.Seq, meta)
+		}
+	}
+	if !b.Empty(0) || b.Free() != 8 {
+		t.Fatal("buffer not restored after drain")
+	}
+}
+
+func TestInterleavedQueues(t *testing.T) {
+	b := New(10, 3, 1)
+	// Interleave pushes across queues; each queue must stay FIFO.
+	for i := 0; i < 3; i++ {
+		for q := 0; q < 3; q++ {
+			if !b.Push(q, f(q*100+i), 0) {
+				t.Fatalf("push q%d i%d rejected", q, i)
+			}
+		}
+	}
+	for q := 0; q < 3; q++ {
+		for i := 0; i < 3; i++ {
+			got, _ := b.Pop(q)
+			if got.Seq != q*100+i {
+				t.Fatalf("queue %d order broken: %d", q, got.Seq)
+			}
+		}
+	}
+}
+
+func TestReservationGuaranteesSpace(t *testing.T) {
+	// Total 6, 2 queues, reserve 2: the shared region is 2 slots.
+	b := New(6, 2, 2)
+	// Queue 0 grabs its reserve plus the whole shared region.
+	for i := 0; i < 4; i++ {
+		if !b.Push(0, f(i), 0) {
+			t.Fatalf("queue 0 push %d rejected", i)
+		}
+	}
+	// Shared region exhausted: queue 0 may not take more...
+	if b.Push(0, f(99), 0) {
+		t.Fatal("queue 0 exceeded reserve+shared")
+	}
+	// ...but queue 1's reservation is untouchable.
+	if !b.Push(1, f(0), 0) || !b.Push(1, f(1), 0) {
+		t.Fatal("queue 1 denied its reserved slots")
+	}
+	// Now the pool is genuinely full.
+	if b.Push(1, f(2), 0) {
+		t.Fatal("push into full pool accepted")
+	}
+	if b.Free() != 0 {
+		t.Fatalf("Free = %d, want 0", b.Free())
+	}
+}
+
+func TestSharedAccountingOnPop(t *testing.T) {
+	b := New(4, 2, 1)
+	// Queue 0: 1 reserved + 2 shared.
+	b.Push(0, f(0), 0)
+	b.Push(0, f(1), 0)
+	b.Push(0, f(2), 0)
+	if b.CanAccept(1) != true {
+		t.Fatal("queue 1's reserve should be available")
+	}
+	b.Push(1, f(0), 0)
+	// Pool full; queue 1 at its reserve, shared fully used by queue 0.
+	if b.CanAccept(0) || b.CanAccept(1) {
+		t.Fatal("acceptance from a full pool")
+	}
+	// Popping one of queue 0's shared-region flits frees shared space
+	// for queue 1.
+	b.Pop(0)
+	if !b.CanAccept(1) {
+		t.Fatal("shared slot not released to other queue")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	b := New(4, 2, 1)
+	for name, fn := range map[string]func(){
+		"pop empty":    func() { b.Pop(0) },
+		"peek empty":   func() { b.Peek(1) },
+		"bad total":    func() { New(0, 1, 0) },
+		"over-reserve": func() { New(4, 3, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPeek(t *testing.T) {
+	b := New(4, 1, 1)
+	b.Push(0, f(7), 42)
+	got, meta := b.Peek(0)
+	if got.Seq != 7 || meta != 42 {
+		t.Fatal("peek wrong")
+	}
+	if b.Len(0) != 1 {
+		t.Fatal("peek consumed the flit")
+	}
+}
+
+// Property: for any operation sequence, every queue behaves as a
+// FIFO, the pool never exceeds its capacity, reservations always
+// admit a flit when the queue is below its reserve, and slot
+// accounting conserves (sum of queue lengths + free == total).
+func TestDAMQInvariantsProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		const total, queues, reserve = 12, 3, 2
+		b := New(total, queues, reserve)
+		model := make([][]int, queues)
+		seq := 0
+		for _, op := range ops {
+			q := int(op) % queues
+			if op%2 == 0 {
+				below := b.Len(q) < reserve
+				ok := b.Push(q, f(seq), 0)
+				if ok {
+					model[q] = append(model[q], seq)
+					seq++
+				} else if below {
+					return false // reservation violated
+				}
+			} else if len(model[q]) > 0 {
+				got, _ := b.Pop(q)
+				if got.Seq != model[q][0] {
+					return false // FIFO order broken
+				}
+				model[q] = model[q][1:]
+			}
+			sum := b.Free()
+			for qq := 0; qq < queues; qq++ {
+				if b.Len(qq) != len(model[qq]) {
+					return false
+				}
+				sum += b.Len(qq)
+			}
+			if sum != total {
+				return false // slot leak
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapLimitsOccupancy(t *testing.T) {
+	b := New(12, 2, 1)
+	b.SetCap(5)
+	n := 0
+	for b.Push(0, f(n), 0) {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("capped queue accepted %d, want 5", n)
+	}
+	if got := b.SpaceFor(0); got != 0 {
+		t.Fatalf("SpaceFor at cap = %d", got)
+	}
+	// The other queue is unaffected.
+	if got := b.SpaceFor(1); got != 5 { // min(1 reserved + 6 shared, cap 5)
+		t.Fatalf("SpaceFor(1) = %d, want 5", got)
+	}
+	// Cap below reserve is rejected.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cap < reserve accepted")
+			}
+		}()
+		b.SetCap(0) // remove
+		bb := New(4, 2, 2)
+		bb.SetCap(1)
+	}()
+	// Removing the cap restores shared access.
+	if got := b.SpaceFor(0); got <= 0 {
+		t.Fatal("cap removal did not restore space")
+	}
+}
+
+// The headline DAMQ property (Tamir & Frazier): at equal total buffer,
+// dynamic sharing absorbs asymmetric bursts that a static partition
+// rejects.
+func TestDynamicSharingBeatsStaticPartition(t *testing.T) {
+	const total, queues = 16, 4
+	damq := New(total, queues, 1)
+	// Static partition: 4 slots per queue (simulated with reserve ==
+	// total/queues, i.e. shared region zero).
+	static := New(total, queues, total/queues)
+
+	// A burst of 12 flits into one queue.
+	accepted, acceptedStatic := 0, 0
+	for i := 0; i < 12; i++ {
+		if damq.Push(0, f(i), 0) {
+			accepted++
+		}
+		if static.Push(0, f(i), 0) {
+			acceptedStatic++
+		}
+	}
+	if accepted <= acceptedStatic {
+		t.Errorf("DAMQ accepted %d <= static %d", accepted, acceptedStatic)
+	}
+	if acceptedStatic != 4 {
+		t.Errorf("static partition accepted %d, want 4", acceptedStatic)
+	}
+	// Queue 0 may hold 1 reserved + 12 shared slots, so the whole
+	// 12-flit burst fits.
+	if accepted != 12 {
+		t.Errorf("DAMQ accepted %d, want 12", accepted)
+	}
+}

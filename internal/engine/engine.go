@@ -1,0 +1,333 @@
+// Package engine is the cycle-driven single-server simulator behind
+// the paper's Section 5 experiments: n flows with FIFO packet queues,
+// a scheduler arbitrating access to one output that forwards one flit
+// per cycle, and an optional downstream-stall model that makes a
+// packet's occupancy of the output exceed its length — the defining
+// wormhole phenomenon ("a packet of length L ... may take more than
+// L/C seconds for transmission").
+//
+// The engine drives either a packet-granularity sched.Scheduler (ERR,
+// DRR, PBRR, FCFS, ...) or a flit-granularity sched.FlitScheduler
+// (FBRR). Packet-granularity service keeps a packet's flits
+// contiguous on the output, as wormhole switching requires when
+// scheduling into an output queue.
+package engine
+
+import (
+	"errors"
+
+	"repro/internal/flit"
+	"repro/internal/queue"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// StallModel injects downstream congestion: before each flit of a
+// packet is forwarded, the model returns how many cycles the output
+// stays blocked. A nil model means no stalls (classic store-and-
+// forward timing, occupancy == length).
+type StallModel interface {
+	// FlitStall returns the stall cycles preceding the next flit of
+	// the given flow's current packet (>= 0).
+	FlitStall(flow int) int
+}
+
+// StallFunc adapts a function to a StallModel.
+type StallFunc func(flow int) int
+
+// FlitStall implements StallModel.
+func (f StallFunc) FlitStall(flow int) int { return f(flow) }
+
+// Config configures an Engine. Exactly one of Scheduler or FlitSched
+// must be set.
+type Config struct {
+	// Flows is the number of flows (queues).
+	Flows int
+	// Scheduler is a packet-granularity discipline.
+	Scheduler sched.Scheduler
+	// FlitSched is a flit-granularity discipline (FBRR).
+	FlitSched sched.FlitScheduler
+	// Source generates arrivals; nil means no arrivals (packets may
+	// still be injected with Inject).
+	Source traffic.Source
+	// Stall models downstream congestion. When set with a
+	// sched.LengthAware Scheduler, NewEngine fails unless
+	// AllowLengthAwareStalls is set: a discipline that budgets
+	// a-priori lengths has no meaningful occupancy accounting, which
+	// is the paper's argument for why DRR cannot serve a wormhole
+	// switch. The override exists for the ablation experiments that
+	// quantify exactly that failure.
+	Stall                  StallModel
+	AllowLengthAwareStalls bool
+
+	// OnFlit, if set, observes every cycle in which a flit is
+	// forwarded (flow id) — the feed for metrics.ServiceLog and
+	// metrics.FairnessTracker.
+	OnFlit func(cycle int64, flow int)
+	// OnIdle, if set, observes cycles in which no flit is forwarded
+	// and no packet occupies the output.
+	OnIdle func(cycle int64)
+	// OnStall, if set, observes cycles in which the output is
+	// occupied by a packet of the given flow but downstream
+	// congestion blocked the flit — occupancy without service, the
+	// wormhole phenomenon. When OnStall is nil such cycles are
+	// reported to OnIdle instead (so OnIdle alone still accounts for
+	// every non-forwarding cycle).
+	OnStall func(cycle int64, flow int)
+	// OnDeparture, if set, observes packet completions: the packet,
+	// the cycle its tail flit left, and its occupancy in cycles
+	// (== length when there are no stalls).
+	OnDeparture func(p flit.Packet, cycle int64, occupancy int64)
+}
+
+// Engine simulates the configured system cycle by cycle.
+type Engine struct {
+	cfg    Config
+	queues []queue.PacketQueue
+	cycle  int64
+	nextID int64
+
+	// Packet-granularity service state.
+	inService bool
+	current   flit.Packet
+	sentFlits int
+	occupancy int64
+	stallLeft int
+
+	// Flit-granularity service state: per-flow partial packet.
+	partial   []flit.Packet
+	remaining []int
+
+	backlogPackets int
+}
+
+// NewEngine validates cfg and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Flows < 1 {
+		return nil, errors.New("engine: Flows must be >= 1")
+	}
+	if (cfg.Scheduler == nil) == (cfg.FlitSched == nil) {
+		return nil, errors.New("engine: exactly one of Scheduler or FlitSched must be set")
+	}
+	if cfg.Stall != nil && cfg.Scheduler != nil && !cfg.AllowLengthAwareStalls {
+		if _, ok := cfg.Scheduler.(sched.LengthAware); ok {
+			return nil, errors.New("engine: length-aware scheduler cannot run with a stall model (see Config.AllowLengthAwareStalls)")
+		}
+	}
+	e := &Engine{
+		cfg:    cfg,
+		queues: make([]queue.PacketQueue, cfg.Flows),
+	}
+	if cfg.FlitSched != nil {
+		e.partial = make([]flit.Packet, cfg.Flows)
+		e.remaining = make([]int, cfg.Flows)
+	}
+	return e, nil
+}
+
+// QueueLen implements traffic.QueueView: queued packets of a flow,
+// including any packet in service.
+func (e *Engine) QueueLen(flow int) int {
+	n := e.queues[flow].Len()
+	if e.cfg.Scheduler != nil {
+		if e.inService && e.current.Flow == flow {
+			n++
+		}
+	} else if e.remaining[flow] > 0 {
+		n++
+	}
+	return n
+}
+
+// Cycle returns the current simulation cycle.
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// Backlog returns the number of packets not yet fully served
+// (including any in service).
+func (e *Engine) Backlog() int {
+	n := e.backlogPackets
+	if e.cfg.Scheduler != nil {
+		if e.inService {
+			n++
+		}
+	} else {
+		for f := range e.remaining {
+			if e.remaining[f] > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Inject adds a packet directly (used by tests and by the switch
+// substrate); the packet's Arrival and ID are stamped by the engine.
+func (e *Engine) Inject(p flit.Packet) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.Flow >= e.cfg.Flows {
+		panic("engine: packet flow out of range")
+	}
+	p.Arrival = e.cycle
+	p.ID = e.nextID
+	e.nextID++
+	q := &e.queues[p.Flow]
+	wasEmpty := q.Empty() && !e.flowBusy(p.Flow)
+	q.Push(p)
+	e.backlogPackets++
+	if s := e.cfg.Scheduler; s != nil {
+		s.OnArrival(p.Flow, wasEmpty)
+		if la, ok := s.(sched.LengthAware); ok {
+			la.OnArrivalLength(p.Flow, p.Length)
+		}
+	} else {
+		e.cfg.FlitSched.OnArrival(p.Flow, wasEmpty)
+	}
+}
+
+// flowBusy reports whether flow has a packet mid-service.
+func (e *Engine) flowBusy(flow int) bool {
+	if e.cfg.Scheduler != nil {
+		return e.inService && e.current.Flow == flow
+	}
+	return e.remaining[flow] > 0
+}
+
+// Step advances the simulation by one cycle: arrivals first, then at
+// most one flit (or stall) of service.
+func (e *Engine) Step() {
+	if e.cfg.Scheduler != nil {
+		if ca, ok := e.cfg.Scheduler.(sched.ClockAware); ok {
+			ca.SetNow(e.cycle)
+		}
+	}
+	if e.cfg.Source != nil {
+		for _, p := range e.cfg.Source.Arrivals(e.cycle, e) {
+			e.Inject(p)
+		}
+	}
+	if e.cfg.Scheduler != nil {
+		e.stepPacketMode()
+	} else {
+		e.stepFlitMode()
+	}
+	e.cycle++
+}
+
+func (e *Engine) stepPacketMode() {
+	if !e.inService {
+		if e.backlogPackets == 0 {
+			e.idle()
+			return
+		}
+		flow := e.cfg.Scheduler.NextFlow()
+		q := &e.queues[flow]
+		if q.Empty() {
+			panic("engine: scheduler selected an empty flow")
+		}
+		e.current = q.Pop()
+		e.backlogPackets--
+		e.inService = true
+		e.sentFlits = 0
+		e.occupancy = 0
+		e.stallLeft = e.stall(flow)
+	}
+	e.occupancy++
+	if e.stallLeft > 0 {
+		e.stallLeft--
+		if e.cfg.OnStall != nil {
+			e.cfg.OnStall(e.cycle, e.current.Flow)
+		} else {
+			e.idle()
+		}
+		return
+	}
+	// Forward one flit.
+	e.sentFlits++
+	if e.cfg.OnFlit != nil {
+		e.cfg.OnFlit(e.cycle, e.current.Flow)
+	}
+	if e.sentFlits < e.current.Length {
+		e.stallLeft = e.stall(e.current.Flow)
+		return
+	}
+	// Tail flit forwarded: the packet departs.
+	e.inService = false
+	if e.cfg.OnDeparture != nil {
+		e.cfg.OnDeparture(e.current, e.cycle, e.occupancy)
+	}
+	e.cfg.Scheduler.OnPacketDone(e.current.Flow, e.occupancy, e.queues[e.current.Flow].Empty())
+}
+
+func (e *Engine) stepFlitMode() {
+	// Any flow with a partial packet or queued packets has flits.
+	has := false
+	for f := range e.remaining {
+		if e.remaining[f] > 0 || !e.queues[f].Empty() {
+			has = true
+			break
+		}
+	}
+	if !has {
+		e.idle()
+		return
+	}
+	flow := e.cfg.FlitSched.NextFlow()
+	if e.remaining[flow] == 0 {
+		q := &e.queues[flow]
+		if q.Empty() {
+			panic("engine: flit scheduler selected an empty flow")
+		}
+		e.partial[flow] = q.Pop()
+		e.backlogPackets--
+		e.remaining[flow] = e.partial[flow].Length
+	}
+	e.remaining[flow]--
+	if e.cfg.OnFlit != nil {
+		e.cfg.OnFlit(e.cycle, flow)
+	}
+	end := e.remaining[flow] == 0
+	if end && e.cfg.OnDeparture != nil {
+		e.cfg.OnDeparture(e.partial[flow], e.cycle, int64(e.partial[flow].Length))
+	}
+	nowEmpty := end && e.queues[flow].Empty()
+	e.cfg.FlitSched.OnFlitDone(flow, end, nowEmpty)
+}
+
+func (e *Engine) stall(flow int) int {
+	if e.cfg.Stall == nil {
+		return 0
+	}
+	s := e.cfg.Stall.FlitStall(flow)
+	if s < 0 {
+		panic("engine: negative stall")
+	}
+	return s
+}
+
+func (e *Engine) idle() {
+	if e.cfg.OnIdle != nil {
+		e.cfg.OnIdle(e.cycle)
+	}
+}
+
+// Run advances the simulation by n cycles.
+func (e *Engine) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntilDrained steps until no packet remains in any queue or in
+// service, or until maxCycles elapse; it returns the number of cycles
+// stepped and whether the system drained.
+func (e *Engine) RunUntilDrained(maxCycles int64) (cycles int64, drained bool) {
+	for cycles = 0; cycles < maxCycles; cycles++ {
+		if e.Backlog() == 0 {
+			return cycles, true
+		}
+		e.Step()
+	}
+	return cycles, e.Backlog() == 0
+}

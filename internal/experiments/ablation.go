@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/flit"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// AblationOccupancyParams parameterises the occupancy ablation: two
+// flows with identical lengths contend for an output; flow 1's
+// packets suffer one downstream stall cycle per flit (its occupancy
+// is twice its length). ERR bills occupancy and throttles the
+// congested flow to an equal share of *output time*; DRR can only
+// budget flits, so the congested flow captures twice the output time.
+// This quantifies the paper's core argument for why DRR cannot serve
+// a wormhole switch.
+type AblationOccupancyParams struct {
+	Cycles int64
+	Seed   uint64
+}
+
+// DefaultAblationOccupancyParams returns defaults.
+func DefaultAblationOccupancyParams() AblationOccupancyParams {
+	return AblationOccupancyParams{Cycles: 1_000_000, Seed: 1}
+}
+
+// AblationOccupancyResult reports, per discipline, the share of
+// output cycles each flow occupied and the occupancy fairness
+// measure.
+type AblationOccupancyResult struct {
+	Params      AblationOccupancyParams
+	Disciplines []string
+	// OccupancyShare[d][f] is the fraction of busy output cycles flow
+	// f held under discipline d.
+	OccupancyShare [][]float64
+	// OccFM[d] is the fairness measure in occupancy cycles.
+	OccFM []int64
+}
+
+// RunAblationOccupancy runs the ablation.
+func RunAblationOccupancy(p AblationOccupancyParams) (*AblationOccupancyResult, error) {
+	mks := []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"ERR", func() sched.Scheduler { return core.New() }},
+		{"DRR", func() sched.Scheduler { return sched.NewDRR(64, nil) }},
+	}
+	res := &AblationOccupancyResult{Params: p}
+	for _, m := range mks {
+		src := rng.New(p.Seed)
+		dist := rng.NewUniform(1, 32)
+		occ := make([]int64, 2)
+		ft := metrics.NewFairnessTracker(2)
+		e, err := engine.NewEngine(engine.Config{
+			Flows:     2,
+			Scheduler: m.mk(),
+			Source: traffic.NewMulti(
+				traffic.NewBacklogged(0, 4, dist, src.Split()),
+				traffic.NewBacklogged(1, 4, dist, src.Split()),
+			),
+			Stall: engine.StallFunc(func(flow int) int {
+				if flow == 1 {
+					return 1
+				}
+				return 0
+			}),
+			AllowLengthAwareStalls: true,
+			OnFlit: func(cycle int64, flow int) {
+				occ[flow]++
+				ft.Serve(flow, 1)
+			},
+			// Stall cycles are occupancy without service; they belong
+			// to the flow holding the output.
+			OnStall: func(cycle int64, flow int) {
+				occ[flow]++
+				ft.Serve(flow, 1)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.Run(p.Cycles)
+		total := float64(occ[0] + occ[1])
+		res.Disciplines = append(res.Disciplines, m.name)
+		res.OccupancyShare = append(res.OccupancyShare, []float64{
+			float64(occ[0]) / total, float64(occ[1]) / total,
+		})
+		res.OccFM = append(res.OccFM, ft.FM())
+	}
+	return res, nil
+}
+
+// Render writes the ablation table.
+func (r *AblationOccupancyResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Occupancy ablation — flow 1 suffers 2x downstream stalls")
+	fmt.Fprintln(tw, "Discipline\tflow0 share\tflow1 share\toccupancy FM (cycles)")
+	for i, d := range r.Disciplines {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\n",
+			d, r.OccupancyShare[i][0], r.OccupancyShare[i][1], r.OccFM[i])
+	}
+	return tw.Flush()
+}
+
+// AblationSurplusResetParams parameterises the surplus-reset
+// ablation: Figure 1 resets a drained flow's surplus count; the
+// ablated variant keeps it, so a flow that overshot long ago is still
+// punished when it reactivates. The workload makes the effect
+// measurable and deterministic: two always-backlogged competitors and
+// one periodic flow that injects a batch of large packets, drains
+// completely (resetting — or keeping — its SC), then idles until the
+// next batch. The kept surplus shrinks the flow's first allowance of
+// every batch, slowing each batch's drain by a small, systematic
+// amount.
+type AblationSurplusResetParams struct {
+	Cycles int64
+	// Period is the batch injection period in cycles; BatchPackets
+	// large packets of BatchLen flits arrive at the start of each
+	// period.
+	Period       int64
+	BatchPackets int
+	BatchLen     int
+	Seed         uint64
+}
+
+// DefaultAblationSurplusResetParams returns defaults.
+func DefaultAblationSurplusResetParams() AblationSurplusResetParams {
+	return AblationSurplusResetParams{
+		Cycles:       500_000,
+		Period:       5_000,
+		BatchPackets: 8,
+		BatchLen:     64,
+		Seed:         3,
+	}
+}
+
+// batchSource emits BatchPackets packets of BatchLen flits for flow
+// at the start of every period.
+type batchSource struct {
+	flow, packets, length int
+	period                int64
+	buf                   []flit.Packet
+}
+
+// Arrivals implements traffic.Source.
+func (b *batchSource) Arrivals(cycle int64, q traffic.QueueView) []flit.Packet {
+	if cycle%b.period != 0 {
+		return nil
+	}
+	b.buf = b.buf[:0]
+	for i := 0; i < b.packets; i++ {
+		b.buf = append(b.buf, flit.Packet{Flow: b.flow, Length: b.length})
+	}
+	return b.buf
+}
+
+// AblationSurplusResetResult reports the batch flow's mean packet
+// delay under the paper's reset rule and under the ablated keep rule.
+type AblationSurplusResetResult struct {
+	Params AblationSurplusResetParams
+	// DelayReset and DelayKeep are the batch flow's mean packet
+	// delays (cycles).
+	DelayReset, DelayKeep float64
+}
+
+// RunAblationSurplusReset runs both variants on the same workload.
+func RunAblationSurplusReset(p AblationSurplusResetParams) (*AblationSurplusResetResult, error) {
+	run := func(keep bool) (float64, error) {
+		s := core.New()
+		s.SetKeepSurplusOnDrain(keep)
+		src := rng.New(p.Seed)
+		sim, err := RunSim(SimConfig{
+			Flows:     3,
+			Scheduler: s,
+			Source: traffic.NewMulti(
+				traffic.NewBacklogged(0, 4, rng.NewUniform(8, 24), src.Split()),
+				traffic.NewBacklogged(1, 4, rng.NewUniform(8, 24), src.Split()),
+				&batchSource{flow: 2, packets: p.BatchPackets, length: p.BatchLen, period: p.Period},
+			),
+			Cycles: p.Cycles,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return sim.Delays.MeanOf(2), nil
+	}
+	reset, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	keep, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationSurplusResetResult{Params: p, DelayReset: reset, DelayKeep: keep}, nil
+}
+
+// Render writes the comparison.
+func (r *AblationSurplusResetResult) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"Surplus-reset ablation — bursty flow mean delay:\n  reset on drain (paper): %.1f cycles\n  keep on drain (ablated): %.1f cycles\n",
+		r.DelayReset, r.DelayKeep)
+	return err
+}

@@ -1,0 +1,120 @@
+// Package experiments reproduces, one runner per table/figure, the
+// evaluation section of "Fair and Efficient Packet Scheduling in
+// Wormhole Networks" (Kanhere, Parekh & Sethu, IPDPS 2000):
+//
+//   - Table 1 — fairness measure and work complexity of the
+//     disciplines, with an empirical fairness check per discipline;
+//   - Figure 3 — a traced ERR execution (see cmd/errtrace);
+//   - Figure 4 (a-d) — per-flow throughput of ERR vs PBRR, FBRR,
+//     FCFS, DRR under heterogeneous rates and packet lengths;
+//   - Figure 5 (a,b) — average packet delay vs transient congestion
+//     intensity, ERR vs FCFS and vs PBRR;
+//   - Figure 6 — average relative fairness vs number of flows, ERR
+//     vs DRR under exponentially distributed packet lengths;
+//
+// plus the ablations called out in DESIGN.md. Every runner accepts a
+// scaled-down parameter set so the full suite also runs as tests; the
+// paper-scale parameters are the documented defaults of cmd/errsim.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/flit"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// SimResult bundles the measurements of one simulation run.
+type SimResult struct {
+	// Discipline is the scheduler's Name.
+	Discipline string
+	// Throughput holds per-flow served volume.
+	Throughput *metrics.ThroughputTable
+	// Delays holds packet delay statistics.
+	Delays *metrics.DelayStats
+	// Log is the cycle-resolution service log (nil unless requested).
+	Log *metrics.ServiceLog
+	// Cycles is the number of simulated cycles.
+	Cycles int64
+}
+
+// SimConfig configures one run of the single-server simulator.
+type SimConfig struct {
+	Flows     int
+	Scheduler sched.Scheduler     // exactly one of Scheduler /
+	FlitSched sched.FlitScheduler // FlitSched must be set
+	Source    traffic.Source
+	Cycles    int64
+	// DrainAfter, when true, keeps stepping after Cycles until all
+	// queues empty (the Figure 5 protocol).
+	DrainAfter bool
+	// DrainBudget caps the drain phase (0 = 16x Cycles).
+	DrainBudget int64
+	// WithLog records a cycle-resolution metrics.ServiceLog
+	// (costs one byte per cycle).
+	WithLog bool
+	// Stall, if set, injects downstream stalls (wormhole occupancy
+	// mode).
+	Stall engine.StallModel
+	// AllowLengthAwareStalls forwards to engine.Config (ablations
+	// only).
+	AllowLengthAwareStalls bool
+}
+
+// RunSim executes one simulation and collects the standard metrics.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	res := &SimResult{
+		Throughput: metrics.NewThroughputTable(cfg.Flows, flit.DefaultFlitBytes),
+		Delays:     metrics.NewDelayStats(cfg.Flows),
+	}
+	if cfg.Scheduler != nil {
+		res.Discipline = cfg.Scheduler.Name()
+	} else if cfg.FlitSched != nil {
+		res.Discipline = cfg.FlitSched.Name()
+	}
+	if cfg.WithLog {
+		res.Log = metrics.NewServiceLog(cfg.Flows, 0)
+	}
+	ecfg := engine.Config{
+		Flows:                  cfg.Flows,
+		Scheduler:              cfg.Scheduler,
+		FlitSched:              cfg.FlitSched,
+		Source:                 cfg.Source,
+		Stall:                  cfg.Stall,
+		AllowLengthAwareStalls: cfg.AllowLengthAwareStalls,
+		OnFlit: func(cycle int64, flow int) {
+			res.Throughput.Serve(flow, 1)
+			if res.Log != nil {
+				res.Log.Record(flow)
+			}
+		},
+		OnDeparture: func(p flit.Packet, cycle, occ int64) {
+			res.Delays.Departure(p, cycle)
+		},
+	}
+	if res.Log != nil {
+		ecfg.OnIdle = func(cycle int64) { res.Log.Record(metrics.Idle) }
+	}
+	e, err := engine.NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	e.Run(cfg.Cycles)
+	res.Cycles = cfg.Cycles
+	if cfg.DrainAfter {
+		budget := cfg.DrainBudget
+		if budget == 0 {
+			budget = 16 * cfg.Cycles
+		}
+		extra, drained := e.RunUntilDrained(budget)
+		res.Cycles += extra
+		if !drained {
+			return nil, fmt.Errorf("experiments: %s did not drain within %d cycles",
+				res.Discipline, budget)
+		}
+	}
+	return res, nil
+}

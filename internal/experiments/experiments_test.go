@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Scaled-down parameters keep the full suite under a few seconds
+// while preserving every qualitative shape the paper reports.
+
+func smallFig4() Fig4Params {
+	p := DefaultFig4Params()
+	p.Cycles = 300_000
+	return p
+}
+
+func TestFig4aPBRRFavoursLongPackets(t *testing.T) {
+	res, err := RunFig4(smallFig4(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disciplines[0] != "ERR" || res.Disciplines[1] != "PBRR" {
+		t.Fatalf("unexpected disciplines %v", res.Disciplines)
+	}
+	errKB := res.KBytes[0]
+	pbrrKB := res.KBytes[1]
+	// ERR: all flows within 3m = 3*128*8 bytes = 3 KB of each other.
+	for f := 1; f < 8; f++ {
+		if d := errKB[f] - errKB[0]; d > 3.1 || d < -3.1 {
+			t.Errorf("ERR flows %d vs 0 differ by %.1f KB, want <= 3", f, d)
+		}
+	}
+	// PBRR: flow 2 (double-length packets) gets ~2x the others.
+	others := 0.0
+	for _, f := range []int{0, 1, 4, 5, 6, 7} {
+		others += pbrrKB[f]
+	}
+	others /= 6
+	if r := pbrrKB[2] / others; r < 1.7 || r > 2.3 {
+		t.Errorf("PBRR flow 2 advantage %.2fx, want ~2x", r)
+	}
+}
+
+func TestFig4bFBRRIsFairest(t *testing.T) {
+	res, err := RunFig4(smallFig4(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(kb []float64) float64 {
+		lo, hi := kb[0], kb[0]
+		for _, v := range kb {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi - lo
+	}
+	errS, fbrrS := spread(res.KBytes[0]), spread(res.KBytes[1])
+	// The paper's Figure 4(b): FBRR and ERR are both fair, with ERR
+	// tracking FBRR to within 3m = 3 KB. At this scale both spreads
+	// are dominated by the same warm-up transient (the workload gives
+	// the slowest flows only a 20% margin over their fair share), so
+	// assert both are small and close rather than demanding zero.
+	if fbrrS > 6 {
+		t.Errorf("FBRR spread %.2f KB, want < 6", fbrrS)
+	}
+	if errS > fbrrS+3.1 {
+		t.Errorf("ERR spread %.2f KB exceeds FBRR's %.2f by more than 3 KB (Theorem 3)", errS, fbrrS)
+	}
+}
+
+func TestFig4cFCFSRewardsRateAndLength(t *testing.T) {
+	res, err := RunFig4(smallFig4(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs := res.KBytes[1]
+	base := (fcfs[0] + fcfs[1] + fcfs[4] + fcfs[5] + fcfs[6] + fcfs[7]) / 6
+	// Flow 2 (2x lengths) and flow 3 (2x rate) each steal ~2x.
+	if r := fcfs[2] / base; r < 1.6 || r > 2.4 {
+		t.Errorf("FCFS flow 2 advantage %.2fx, want ~2x", r)
+	}
+	if r := fcfs[3] / base; r < 1.6 || r > 2.4 {
+		t.Errorf("FCFS flow 3 advantage %.2fx, want ~2x", r)
+	}
+	// ERR on the same workload stays flat.
+	errKB := res.KBytes[0]
+	for f := 1; f < 8; f++ {
+		if d := errKB[f] - errKB[0]; d > 3.1 || d < -3.1 {
+			t.Errorf("ERR flow %d differs by %.1f KB under the FCFS workload", f, d)
+		}
+	}
+}
+
+func TestFig4dDRRComparableToERR(t *testing.T) {
+	res, err := RunFig4(smallFig4(), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errKB, drr := res.KBytes[0], res.KBytes[1]
+	for f := 0; f < 8; f++ {
+		if d := errKB[f] - drr[f]; d > 4 || d < -4 {
+			t.Errorf("ERR vs DRR flow %d differ by %.1f KB; should be comparable", f, d)
+		}
+	}
+}
+
+func TestFig4Render(t *testing.T) {
+	p := smallFig4()
+	p.Cycles = 50_000
+	res, err := RunFig4(p, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ERR", "PBRR", "flow 7", "flow,ERR,PBRR"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig4UnknownPanel(t *testing.T) {
+	if _, err := RunFig4(smallFig4(), "z"); err == nil {
+		t.Error("unknown panel accepted")
+	}
+}
+
+func smallFig5() Fig5Params {
+	p := DefaultFig5Params()
+	p.BurstCycles = 5_000
+	p.Intensities = []float64{1.0, 1.15, 1.3}
+	p.Repeats = 3
+	return p
+}
+
+func TestFig5aERRBeatsFCFS(t *testing.T) {
+	res, err := RunFig5(smallFig5(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errD, fcfs := res.Delay[0], res.Delay[1]
+	// At the highest congestion intensity ERR must have lower average
+	// delay (its gain comes from delaying the heavy flows).
+	last := len(errD) - 1
+	if errD[last] >= fcfs[last] {
+		t.Errorf("at intensity %.2f ERR delay %.1f >= FCFS %.1f",
+			res.Params.Intensities[last], errD[last], fcfs[last])
+	}
+}
+
+func TestFig5bERRBeatsPBRR(t *testing.T) {
+	res, err := RunFig5(smallFig5(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errD, pbrr := res.Delay[0], res.Delay[1]
+	last := len(errD) - 1
+	if errD[last] >= pbrr[last] {
+		t.Errorf("at intensity %.2f ERR delay %.1f >= PBRR %.1f",
+			res.Params.Intensities[last], errD[last], pbrr[last])
+	}
+}
+
+func TestFig5DelayGrowsWithIntensity(t *testing.T) {
+	res, err := RunFig5(smallFig5(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, name := range res.Disciplines {
+		ds := res.Delay[d]
+		if ds[len(ds)-1] <= ds[0] {
+			t.Errorf("%s delay did not grow with congestion: %v", name, ds)
+		}
+	}
+}
+
+func TestFig5Render(t *testing.T) {
+	p := smallFig5()
+	p.Intensities = []float64{1.0, 1.3}
+	p.Repeats = 1
+	res, err := RunFig5(p, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "intensity,ERR,PBRR") {
+		t.Error("render missing CSV header")
+	}
+}
+
+func smallFig6() Fig6Params {
+	p := DefaultFig6Params()
+	p.Cycles = 200_000
+	p.Intervals = 2_000
+	p.MaxFlows = 6
+	return p
+}
+
+func TestFig6ERRFairerThanDRR(t *testing.T) {
+	res, err := RunFig6(smallFig6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errFM, drrFM := res.AvgFM[0], res.AvgFM[1]
+	// The paper's claim: with exponentially distributed lengths, ERR's
+	// average relative fairness is better (smaller) than DRR's, at
+	// every flow count.
+	worse := 0
+	for i := range res.Flows {
+		if errFM[i] >= drrFM[i] {
+			worse++
+		}
+	}
+	if worse > 1 { // allow one noisy point at this scale
+		t.Errorf("ERR avg FM not below DRR at %d/%d flow counts: ERR=%v DRR=%v",
+			worse, len(res.Flows), errFM, drrFM)
+	}
+}
+
+func TestFig6Render(t *testing.T) {
+	p := smallFig6()
+	p.MaxFlows = 3
+	p.Cycles = 50_000
+	p.Intervals = 200
+	res, err := RunFig6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "flows,ERR,DRR") {
+		t.Error("render missing CSV header")
+	}
+}
+
+func TestTable1BoundsRespected(t *testing.T) {
+	p := DefaultTable1Params()
+	p.Fig4.Cycles = 400_000
+	res, err := RunTable1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(res.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Discipline] = r
+	}
+	// Bounded disciplines respect their bounds. DRR and ERR are exact
+	// transcriptions, so their analytic bounds must hold. WFQ
+	// (packetized GPS, exact virtual time) tracks fluid GPS within one
+	// maximum packet each way, so its relative fairness is bounded by
+	// 2m; the paper's Table 1 entry of m is the idealised
+	// Fair-Queuing figure.
+	for _, name := range []string{"DRR", "ERR"} {
+		row := byName[name]
+		if row.BoundFlits <= 0 {
+			t.Errorf("%s has no numeric bound", name)
+			continue
+		}
+		if row.MeasuredFM >= row.BoundFlits {
+			t.Errorf("%s measured FM %d >= bound %d", name, row.MeasuredFM, row.BoundFlits)
+		}
+	}
+	if fq := byName["FQ (WFQ)"]; fq.MeasuredFM >= 2*fq.BoundFlits {
+		t.Errorf("approximate WFQ measured FM %d >= 2m = %d", fq.MeasuredFM, 2*fq.BoundFlits)
+	}
+	// Unbounded disciplines measurably exceed ERR's bound on this
+	// workload (their unfairness grows with the run).
+	errBound := byName["ERR"].BoundFlits
+	for _, name := range []string{"PBRR", "FCFS"} {
+		if byName[name].MeasuredFM <= errBound {
+			t.Errorf("%s measured FM %d suspiciously small", name, byName[name].MeasuredFM)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationOccupancy(t *testing.T) {
+	p := DefaultAblationOccupancyParams()
+	p.Cycles = 300_000
+	res, err := RunAblationOccupancy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for i, d := range res.Disciplines {
+		byName[d] = res.OccupancyShare[i]
+	}
+	// ERR equalises output time: both shares ~0.5.
+	if s := byName["ERR"]; s[0] < 0.45 || s[0] > 0.55 {
+		t.Errorf("ERR occupancy shares %v, want ~[0.5 0.5]", s)
+	}
+	// DRR budgets flits: the stalled flow occupies ~2/3 of the output.
+	if s := byName["DRR"]; s[1] < 0.6 {
+		t.Errorf("DRR stalled-flow occupancy share %.3f, want > 0.6", s[1])
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Occupancy ablation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationSurplusReset(t *testing.T) {
+	p := DefaultAblationSurplusResetParams()
+	p.Cycles = 300_000
+	res, err := RunAblationSurplusReset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ablated variant must not help the bursty flow; typically it
+	// hurts. Guard loosely against inversion beyond noise.
+	if res.DelayKeep < res.DelayReset*0.95 {
+		t.Errorf("keeping surplus on drain improved the bursty flow's delay (%.1f vs %.1f)",
+			res.DelayKeep, res.DelayReset)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Surplus-reset") {
+		t.Error("render missing title")
+	}
+}

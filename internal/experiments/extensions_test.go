@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWeightedSharesProportional(t *testing.T) {
+	p := DefaultWeightedParams()
+	p.Cycles = 300_000
+	res, err := RunWeighted(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range res.Share {
+		if math.Abs(res.Share[f]-res.WantShare[f]) > 0.01 {
+			t.Errorf("class %d share %.4f, want %.4f", f, res.Share[f], res.WantShare[f])
+		}
+	}
+	// Higher-weight classes see lower delays (they drain faster).
+	if !(res.MeanDelay[2] < res.MeanDelay[1] && res.MeanDelay[1] < res.MeanDelay[0]) {
+		t.Errorf("delays not ordered by weight: %v", res.MeanDelay)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Weighted ERR") {
+		t.Error("render missing title")
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := RunWeighted(WeightedParams{Cycles: 100, Weights: []int64{1}}); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestGapERRBoundedJitter(t *testing.T) {
+	p := DefaultGapParams()
+	p.Cycles = 300_000
+	res, err := RunGap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	for i, d := range res.Disciplines {
+		byName[d] = res.MaxGap[i]
+	}
+	// All round-robin family gaps are bounded by roughly one round:
+	// n * (per-opportunity service) ~ n * (1 + maxSC + m). FCFS's worst
+	// gap is set by burst luck and is much larger on this workload.
+	if byName["ERR"] <= 0 {
+		t.Fatal("no gaps measured")
+	}
+	// ERR's worst gap must be within the order of a round: with n=8
+	// flows and m=64, a round serves at most ~n*(2m) flits.
+	bound := int64(8 * 4 * 64)
+	if byName["ERR"] > bound {
+		t.Errorf("ERR worst gap %d implausibly large (> %d)", byName["ERR"], bound)
+	}
+	// FCFS jitter dominates every round-robin discipline's.
+	if byName["FCFS"] <= byName["ERR"] {
+		t.Errorf("FCFS worst gap %d not worse than ERR's %d", byName["FCFS"], byName["ERR"])
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Inter-service gap") {
+		t.Error("render missing title")
+	}
+}
+
+func TestNoCSweepShapes(t *testing.T) {
+	p := DefaultNoCSweepParams()
+	p.Rates = []float64{0.005, 0.03}
+	p.WarmCycles = 15_000
+	res, err := RunNoCSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, name := range res.Disciplines {
+		if res.Latency[d][1] <= res.Latency[d][0] {
+			t.Errorf("%s latency did not grow with load: %v", name, res.Latency[d])
+		}
+		if res.Delivered[d][1] <= res.Delivered[d][0] {
+			t.Errorf("%s throughput did not grow with load: %v", name, res.Delivered[d])
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "load-latency") {
+		t.Error("render missing title")
+	}
+}
+
+func TestNoCSweepTorus(t *testing.T) {
+	p := DefaultNoCSweepParams()
+	p.Torus = true
+	p.Rates = []float64{0.01}
+	p.WarmCycles = 10_000
+	res, err := RunNoCSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency[0][0] <= 0 {
+		t.Error("torus sweep produced no latency")
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig6ExtGapWidensAsLargePacketsRarify(t *testing.T) {
+	p := DefaultFig6ExtParams()
+	p.Cycles = 200_000
+	p.Intervals = 1_000
+	p.PLarges = []float64{0.5, 0.05}
+	res, err := RunFig6Ext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// When large packets are common, m ~ Max and the two bounds
+	// coincide (3m vs Max+2m), so the disciplines are comparable —
+	// either may edge out. When large packets are rare, ERR must be
+	// clearly fairer (the paper's closing claim).
+	if res.AvgFMERR[1] >= res.AvgFMDRR[1] {
+		t.Errorf("p=0.05: ERR avg FM %.1f not below DRR %.1f", res.AvgFMERR[1], res.AvgFMDRR[1])
+	}
+	// And the DRR/ERR gap grows as large packets get rarer.
+	gapCommon := res.AvgFMDRR[0] / res.AvgFMERR[0]
+	gapRare := res.AvgFMDRR[1] / res.AvgFMERR[1]
+	if gapRare <= gapCommon {
+		t.Errorf("fairness gap did not widen: %.2fx at p=0.5 vs %.2fx at p=0.05", gapCommon, gapRare)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "p_large,ERR,DRR,DRR_over_ERR") {
+		t.Error("render missing CSV header")
+	}
+}

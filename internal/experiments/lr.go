@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// LRParams parameterises the latency-rate (LR) server measurement —
+// the lens under which the ERR authors' follow-up work analyses the
+// scheduler. A server is LR(ρ, Θ) for a flow if, once the flow is
+// continuously backlogged from time t0, its cumulative service
+// satisfies W(t) >= ρ·(t - t0 - Θ): ρ is the guaranteed rate and Θ
+// the worst-case start-up latency. We keep n equal flows backlogged
+// from cycle 0 (so ρ = 1/n) and measure the empirical Θ of each
+// discipline as max over flows and service instants of
+// t - W(t)/ρ.
+type LRParams struct {
+	Flows  int
+	Cycles int64
+	MaxLen int
+	Seed   uint64
+}
+
+// DefaultLRParams returns defaults.
+func DefaultLRParams() LRParams {
+	return LRParams{Flows: 8, Cycles: 500_000, MaxLen: 64, Seed: 1}
+}
+
+// LRResult holds the measured worst-case latency per discipline.
+type LRResult struct {
+	Params      LRParams
+	Disciplines []string
+	// ThetaCycles[d] is the empirical LR latency of discipline d.
+	ThetaCycles []float64
+}
+
+// RunLR measures the empirical LR latency of the main disciplines.
+func RunLR(p LRParams) (*LRResult, error) {
+	mks := []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"ERR", func() sched.Scheduler { return core.New() }},
+		{"DRR", func() sched.Scheduler { return sched.NewDRR(int64(p.MaxLen), nil) }},
+		{"PBRR", func() sched.Scheduler { return sched.NewPBRR() }},
+		{"WFQ", func() sched.Scheduler { return sched.NewWFQ(nil) }},
+		{"STFQ", func() sched.Scheduler { return sched.NewSTFQ(nil) }},
+	}
+	rho := 1.0 / float64(p.Flows)
+	res := &LRResult{Params: p}
+	for _, m := range mks {
+		src := rng.New(p.Seed)
+		sources := make([]traffic.Source, p.Flows)
+		for f := 0; f < p.Flows; f++ {
+			sources[f] = traffic.NewBacklogged(f, 4, rng.NewUniform(1, p.MaxLen), src.Split())
+		}
+		served := make([]int64, p.Flows)
+		theta := 0.0
+		e, err := engine.NewEngine(engine.Config{
+			Flows:     p.Flows,
+			Scheduler: m.mk(),
+			Source:    traffic.NewMulti(sources...),
+			OnFlit: func(cycle int64, flow int) {
+				// Just before this flit, W = served[flow]; the lag
+				// t - W/rho peaks here.
+				if lag := float64(cycle) - float64(served[flow])/rho; lag > theta {
+					theta = lag
+				}
+				served[flow]++
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.Run(p.Cycles)
+		res.Disciplines = append(res.Disciplines, m.name)
+		res.ThetaCycles = append(res.ThetaCycles, theta)
+	}
+	return res, nil
+}
+
+// Render writes the latency table.
+func (r *LRResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Latency-rate measurement — %d backlogged flows (rho = 1/%d), m = %d\n",
+		r.Params.Flows, r.Params.Flows, r.Params.MaxLen)
+	fmt.Fprintln(tw, "Discipline\tempirical Theta (cycles)")
+	for i, d := range r.Disciplines {
+		fmt.Fprintf(tw, "%s\t%.0f\n", d, r.ThetaCycles[i])
+	}
+	return tw.Flush()
+}

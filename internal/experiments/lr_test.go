@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLRLatencies(t *testing.T) {
+	p := DefaultLRParams()
+	p.Cycles = 200_000
+	res, err := RunLR(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for i, d := range res.Disciplines {
+		byName[d] = res.ThetaCycles[i]
+	}
+	// Every discipline measured something positive.
+	for d, th := range byName {
+		if th <= 0 {
+			t.Errorf("%s empirical Theta %.0f, want > 0", d, th)
+		}
+	}
+	// Round-robin start-up latency is bounded by a handful of rounds:
+	// one round serves at most ~n*(1 + MaxSC + m) flits, so Theta stays
+	// within a few n*m.
+	bound := float64(6 * p.Flows * p.MaxLen)
+	for _, d := range []string{"ERR", "DRR"} {
+		if byName[d] > bound {
+			t.Errorf("%s Theta %.0f exceeds %v", d, byName[d], bound)
+		}
+	}
+	// Timestamp schedulers give tighter start-up latency than the
+	// round-robin family on this workload.
+	if byName["WFQ"] > byName["ERR"] {
+		t.Errorf("WFQ Theta %.0f worse than ERR's %.0f", byName["WFQ"], byName["ERR"])
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Latency-rate") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParkingLotShares(t *testing.T) {
+	p := DefaultParkingLotParams()
+	p.Cycles = 200_000
+	res, err := RunParkingLot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unweighted ERR: geometric shares, source i gets ~(1/2)^(Hops-i).
+	for i := 0; i < p.Hops; i++ {
+		want := math.Pow(0.5, float64(p.Hops-i))
+		if i == 0 {
+			// The farthest source shares the tail with nobody below
+			// it, so it gets the same as source 1? No: it is alone on
+			// the first link, then halves at each of the Hops-1
+			// merges: (1/2)^(Hops-1).
+			want = math.Pow(0.5, float64(p.Hops-1))
+		}
+		if math.Abs(res.ShareERR[i]-want) > 0.03 {
+			t.Errorf("ERR source %d share %.4f, want ~%.4f", i, res.ShareERR[i], want)
+		}
+	}
+	// Weighted ERR: near-equal shares. Per-packet grant bubbles in the
+	// multi-hop through path let local flows pick up a little slack
+	// (work conservation), so allow ~5 points of deviation — still
+	// several times tighter than the unweighted geometric spread.
+	equal := 1.0 / float64(p.Hops)
+	maxDevW, maxDevU := 0.0, 0.0
+	for i := range res.ShareWERR {
+		if d := math.Abs(res.ShareWERR[i] - equal); d > maxDevW {
+			maxDevW = d
+		}
+		if d := math.Abs(res.ShareERR[i] - equal); d > maxDevU {
+			maxDevU = d
+		}
+	}
+	if maxDevW > 0.06 {
+		t.Errorf("weighted shares deviate %.4f from equal: %v", maxDevW, res.ShareWERR)
+	}
+	if maxDevW > maxDevU/2 {
+		t.Errorf("weighting did not materially flatten shares: weighted dev %.4f vs unweighted %.4f",
+			maxDevW, maxDevU)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Parking lot") {
+		t.Error("render missing title")
+	}
+}
+
+func TestParkingLotValidation(t *testing.T) {
+	if _, err := RunParkingLot(ParkingLotParams{Hops: 1, Cycles: 10, PacketLen: 1}); err == nil {
+		t.Error("single hop accepted")
+	}
+}

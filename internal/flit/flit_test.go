@@ -1,0 +1,133 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Head, "head"},
+		{Body, "body"},
+		{Tail, "tail"},
+		{HeadTail, "head+tail"},
+		{Kind(42), "kind(42)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestFlitAtSingleFlitPacket(t *testing.T) {
+	p := Packet{Flow: 3, Length: 1, Dst: 7}
+	f := p.FlitAt(0)
+	if f.Kind != HeadTail {
+		t.Errorf("single-flit packet: kind = %v, want HeadTail", f.Kind)
+	}
+	if f.Flow != 3 || f.Dst != 7 || f.Seq != 0 {
+		t.Errorf("flit fields not propagated: %+v", f)
+	}
+}
+
+func TestFlitAtMultiFlitPacket(t *testing.T) {
+	p := Packet{Flow: 1, Length: 4}
+	wantKinds := []Kind{Head, Body, Body, Tail}
+	for i, want := range wantKinds {
+		if got := p.FlitAt(i).Kind; got != want {
+			t.Errorf("FlitAt(%d).Kind = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFlitAtPanicsOutOfRange(t *testing.T) {
+	p := Packet{Flow: 0, Length: 2}
+	for _, i := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FlitAt(%d) did not panic", i)
+				}
+			}()
+			p.FlitAt(i)
+		}()
+	}
+}
+
+func TestFlitsMaterialisation(t *testing.T) {
+	p := Packet{Flow: 2, Length: 5, Dst: 9}
+	fs := p.Flits()
+	if len(fs) != 5 {
+		t.Fatalf("len(Flits()) = %d, want 5", len(fs))
+	}
+	if fs[0].Kind != Head || fs[4].Kind != Tail {
+		t.Errorf("first/last kinds = %v/%v, want head/tail", fs[0].Kind, fs[4].Kind)
+	}
+	for i, f := range fs {
+		if f.Seq != i {
+			t.Errorf("flit %d has Seq %d", i, f.Seq)
+		}
+		if f.Flow != 2 {
+			t.Errorf("flit %d has Flow %d, want 2", i, f.Flow)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	p := Packet{Length: 16}
+	if got := p.Bytes(DefaultFlitBytes); got != 128 {
+		t.Errorf("Bytes(8) = %d, want 128", got)
+	}
+	if got := p.Bytes(4); got != 64 {
+		t.Errorf("Bytes(4) = %d, want 64", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Packet{Flow: 0, Length: 1}).Validate(); err != nil {
+		t.Errorf("valid packet rejected: %v", err)
+	}
+	if err := (Packet{Flow: 0, Length: 0}).Validate(); err == nil {
+		t.Error("zero-length packet accepted")
+	}
+	if err := (Packet{Flow: -1, Length: 3}).Validate(); err == nil {
+		t.Error("negative flow accepted")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := Packet{Flow: 1, Length: 2, Dst: 3, ID: 4}
+	if got, want := p.String(), "pkt{flow=1 len=2 dst=3 id=4}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: for any positive length, a packet's flits start with a
+// head (or head+tail), end with a tail (or head+tail), and every flit
+// in between is a body flit.
+func TestFlitKindsProperty(t *testing.T) {
+	prop := func(lenSeed uint8, flow uint8) bool {
+		length := int(lenSeed%200) + 1
+		p := Packet{Flow: int(flow), Length: length}
+		fs := p.Flits()
+		if length == 1 {
+			return fs[0].Kind == HeadTail
+		}
+		if fs[0].Kind != Head || fs[length-1].Kind != Tail {
+			return false
+		}
+		for i := 1; i < length-1; i++ {
+			if fs[i].Kind != Body {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"repro/internal/flit"
+	"repro/internal/stats"
+)
+
+// DelayStats accumulates packet delays — the number of cycles between
+// the instant a packet is placed in its queue and the instant its
+// last flit is dequeued (the paper's Figure 5 metric) — per flow and
+// in aggregate.
+type DelayStats struct {
+	perFlow []stats.Welford
+	all     stats.Welford
+}
+
+// NewDelayStats returns delay statistics over n flows.
+func NewDelayStats(n int) *DelayStats {
+	return &DelayStats{perFlow: make([]stats.Welford, n)}
+}
+
+// Departure records that packet p's last flit left at the given
+// cycle.
+func (d *DelayStats) Departure(p flit.Packet, cycle int64) {
+	delay := float64(cycle - p.Arrival + 1)
+	d.perFlow[p.Flow].Add(delay)
+	d.all.Add(delay)
+}
+
+// Mean returns the average delay over all packets of all flows.
+func (d *DelayStats) Mean() float64 { return d.all.Mean() }
+
+// MeanOf returns the average delay of one flow's packets.
+func (d *DelayStats) MeanOf(flow int) float64 { return d.perFlow[flow].Mean() }
+
+// MaxOf returns the worst packet delay seen by one flow.
+func (d *DelayStats) MaxOf(flow int) float64 { return d.perFlow[flow].Max() }
+
+// Count returns the number of departed packets across all flows.
+func (d *DelayStats) Count() int64 { return d.all.N() }
+
+// CountOf returns the number of departed packets of one flow.
+func (d *DelayStats) CountOf(flow int) int64 { return d.perFlow[flow].N() }
+
+// ThroughputTable accumulates per-flow transmitted volume, the
+// Figure 4 metric ("# of KBytes transmitted" per flow).
+type ThroughputTable struct {
+	flits     []int64
+	flitBytes int
+}
+
+// NewThroughputTable returns a table over n flows with the given flit
+// width in bytes.
+func NewThroughputTable(n, flitBytes int) *ThroughputTable {
+	if flitBytes <= 0 {
+		flitBytes = flit.DefaultFlitBytes
+	}
+	return &ThroughputTable{flits: make([]int64, n), flitBytes: flitBytes}
+}
+
+// Serve records units flits served to flow.
+func (t *ThroughputTable) Serve(flow int, units int64) { t.flits[flow] += units }
+
+// Flits returns the flits served to flow.
+func (t *ThroughputTable) Flits(flow int) int64 { return t.flits[flow] }
+
+// Bytes returns the bytes served to flow.
+func (t *ThroughputTable) Bytes(flow int) int64 { return t.flits[flow] * int64(t.flitBytes) }
+
+// KBytes returns the kilobytes served to flow (the Figure 4 y-axis).
+func (t *ThroughputTable) KBytes(flow int) float64 { return float64(t.Bytes(flow)) / 1024 }
+
+// NumFlows returns the number of flows in the table.
+func (t *ThroughputTable) NumFlows() int { return len(t.flits) }

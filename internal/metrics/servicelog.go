@@ -1,0 +1,133 @@
+package metrics
+
+import "repro/internal/rng"
+
+// ServiceLog records, cycle by cycle, which flow the server forwarded
+// a flit from, in a compact form that supports Sent_i(t1, t2) queries
+// for arbitrary intervals. It is the data structure behind Figure 6's
+// "average relative fairness over 10,000 randomly chosen intervals".
+//
+// Storage: one byte per cycle (flow id, or Idle) plus per-flow
+// checkpointed prefix counts every stride cycles, so a query costs
+// O(stride) and a 4-million-cycle run costs ~4 MB.
+type ServiceLog struct {
+	n      int
+	stride int
+	seq    []uint8
+	// checkpoints[k][f] = flits served to flow f in cycles [0, k*stride).
+	checkpoints [][]int64
+	totals      []int64
+}
+
+// Idle marks a cycle in which no flit was forwarded.
+const Idle = 0xFF
+
+// NewServiceLog returns a log for n flows (n <= 255) with the given
+// checkpoint stride (0 means a sensible default).
+func NewServiceLog(n, stride int) *ServiceLog {
+	if n < 1 || n > 255 {
+		panic("metrics: ServiceLog supports 1..255 flows")
+	}
+	if stride <= 0 {
+		stride = 4096
+	}
+	return &ServiceLog{
+		n:           n,
+		stride:      stride,
+		checkpoints: [][]int64{make([]int64, n)},
+		totals:      make([]int64, n),
+	}
+}
+
+// Record appends one cycle: the flow served (or Idle).
+func (l *ServiceLog) Record(flow int) {
+	if flow == Idle {
+		l.seq = append(l.seq, Idle)
+	} else {
+		if flow < 0 || flow >= l.n {
+			panic("metrics: ServiceLog flow out of range")
+		}
+		l.seq = append(l.seq, uint8(flow))
+		l.totals[flow]++
+	}
+	if len(l.seq)%l.stride == 0 {
+		cp := make([]int64, l.n)
+		copy(cp, l.totals)
+		l.checkpoints = append(l.checkpoints, cp)
+	}
+}
+
+// Cycles returns the number of recorded cycles.
+func (l *ServiceLog) Cycles() int64 { return int64(len(l.seq)) }
+
+// Total returns the cumulative flits served to flow over the whole
+// log.
+func (l *ServiceLog) Total(flow int) int64 { return l.totals[flow] }
+
+// CumServed returns the flits served to flow in cycles [0, t).
+func (l *ServiceLog) CumServed(flow int, t int64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	if t > int64(len(l.seq)) {
+		t = int64(len(l.seq))
+	}
+	k := t / int64(l.stride)
+	c := l.checkpoints[k][flow]
+	for i := k * int64(l.stride); i < t; i++ {
+		if l.seq[i] == uint8(flow) {
+			c++
+		}
+	}
+	return c
+}
+
+// Sent returns Sent_flow(t1, t2), the flits served to flow in cycles
+// [t1, t2).
+func (l *ServiceLog) Sent(flow int, t1, t2 int64) int64 {
+	return l.CumServed(flow, t2) - l.CumServed(flow, t1)
+}
+
+// FM returns the fairness measure of the interval [t1, t2): the
+// maximum |Sent_i - Sent_j| over all flow pairs (Definition 1 of the
+// paper, with all flows assumed active).
+func (l *ServiceLog) FM(t1, t2 int64) int64 {
+	var lo, hi int64
+	for f := 0; f < l.n; f++ {
+		s := l.Sent(f, t1, t2)
+		if f == 0 {
+			lo, hi = s, s
+			continue
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi - lo
+}
+
+// AvgFMRandomIntervals estimates the average relative fairness over k
+// intervals drawn uniformly at random within [0, Cycles()), the
+// Figure 6 statistic. Intervals of zero length are redrawn.
+func (l *ServiceLog) AvgFMRandomIntervals(k int, src *rng.Source) float64 {
+	cycles := l.Cycles()
+	if cycles < 2 || k < 1 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		var a, b int64
+		for a == b {
+			a = int64(src.Intn(int(cycles)))
+			b = int64(src.Intn(int(cycles)))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		sum += float64(l.FM(a, b))
+	}
+	return sum / float64(k)
+}

@@ -1,0 +1,368 @@
+// Package noc builds a k-ary 2-mesh network-on-chip out of the
+// wormhole routers of package wormhole: dimension-order (XY) routing,
+// per-node injection and ejection, synthetic traffic patterns, and
+// end-to-end latency/throughput metrics. It is the multi-switch
+// substrate demonstrating the paper's scheduler inside the system it
+// was designed for: every router output port is arbitrated by a
+// pluggable discipline (ERR by default) billed in occupancy cycles.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/wormhole"
+)
+
+// Mesh port numbering: port 0 is the local injection/ejection port.
+const (
+	PortLocal = iota
+	PortEast
+	PortWest
+	PortNorth
+	PortSouth
+	numPorts
+)
+
+// Config configures a Mesh.
+type Config struct {
+	// K is the radix: the network has K x K nodes.
+	K int
+	// VCs is the number of virtual channels per port. For a torus it
+	// must be even: the lower half carries packets that have not yet
+	// crossed a dateline, the upper half those that have.
+	VCs int
+	// BufFlits is the input VC buffer depth in flits.
+	BufFlits int
+	// NewArb constructs each router output arbiter; it must satisfy
+	// sched.HeadOfLineArb (ERR, PBRR, WRR).
+	NewArb func() sched.Scheduler
+	// Torus adds wraparound links in both dimensions, with minimal
+	// (shortest-direction) dimension-order routing and dateline VC
+	// switching for deadlock freedom.
+	Torus bool
+	// SharedBufFlits, when > 0, gives each router input port a
+	// dynamically allocated multi-queue (DAMQ) buffer of this many
+	// flits shared across its VCs, with BufFlits reserved per VC.
+	SharedBufFlits int
+	// SharedBufCap limits one VC's occupancy of the shared buffer
+	// (anti-hogging; 0 = unlimited).
+	SharedBufCap int
+}
+
+// injState is the per-node injection front end: one packet is fed
+// into the local input port at one flit per cycle.
+type injState struct {
+	queue  []flit.Packet
+	flits  []flit.Flit
+	next   int
+	vc     int
+	nextVC int
+}
+
+// Mesh is a K x K wormhole mesh (or torus, when Config.Torus is set).
+type Mesh struct {
+	cfg     Config
+	routers []*wormhole.Router
+	sinks   []*wormhole.Sink
+	inj     []injState
+	cycle   int64
+	nextID  int64
+
+	injectTime map[int64]int64
+
+	// Latency accumulates end-to-end packet latencies (inject of head
+	// flit enqueued -> tail flit ejected).
+	Latency stats.Welford
+	// DeliveredFlits counts ejected flits per source node.
+	DeliveredFlits []int64
+	// DeliveredPackets counts ejected packets per source node.
+	DeliveredPackets []int64
+}
+
+// NewMesh validates cfg and builds the network.
+func NewMesh(cfg Config) (*Mesh, error) {
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("noc: mesh radix %d < 2", cfg.K)
+	}
+	if cfg.NewArb == nil {
+		return nil, fmt.Errorf("noc: NewArb is required")
+	}
+	if cfg.Torus && (cfg.VCs < 2 || cfg.VCs%2 != 0) {
+		return nil, fmt.Errorf("noc: torus dateline routing needs an even VC count >= 2, got %d", cfg.VCs)
+	}
+	n := cfg.K * cfg.K
+	m := &Mesh{
+		cfg:              cfg,
+		routers:          make([]*wormhole.Router, n),
+		sinks:            make([]*wormhole.Sink, n),
+		inj:              make([]injState, n),
+		injectTime:       make(map[int64]int64),
+		DeliveredFlits:   make([]int64, n),
+		DeliveredPackets: make([]int64, n),
+	}
+	for id := 0; id < n; id++ {
+		id := id
+		rcfg := wormhole.Config{
+			Ports:          numPorts,
+			VCs:            cfg.VCs,
+			BufFlits:       cfg.BufFlits,
+			SharedBufFlits: cfg.SharedBufFlits,
+			SharedBufCap:   cfg.SharedBufCap,
+			NewArb:         cfg.NewArb,
+			Route:          func(dst int) int { return m.route(id, dst) },
+		}
+		if cfg.Torus {
+			rcfg.OutVC = func(outPort int, head flit.Flit, inPort, inVC int) int {
+				return m.torusOutVC(id, outPort, inPort, inVC)
+			}
+		}
+		r, err := wormhole.NewRouter(id, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		m.routers[id] = r
+	}
+	// Wire neighbours and ejection sinks.
+	for y := 0; y < cfg.K; y++ {
+		for x := 0; x < cfg.K; x++ {
+			id := m.NodeID(x, y)
+			if x+1 < cfg.K {
+				east := m.NodeID(x+1, y)
+				wormhole.Connect(m.routers[id], PortEast, m.routers[east], PortWest)
+				wormhole.Connect(m.routers[east], PortWest, m.routers[id], PortEast)
+			}
+			if y+1 < cfg.K {
+				south := m.NodeID(x, y+1)
+				wormhole.Connect(m.routers[id], PortSouth, m.routers[south], PortNorth)
+				wormhole.Connect(m.routers[south], PortNorth, m.routers[id], PortSouth)
+			}
+			sink := &wormhole.Sink{}
+			sink.OnTail = m.onTail
+			sink.OnFlit = m.onFlit
+			m.sinks[id] = sink
+			wormhole.ConnectEndpoint(m.routers[id], PortLocal, sink)
+		}
+	}
+	if cfg.Torus {
+		// Wraparound links: (K-1, y) <-> (0, y) and (x, K-1) <-> (x, 0).
+		for y := 0; y < cfg.K; y++ {
+			east := m.NodeID(cfg.K-1, y)
+			west := m.NodeID(0, y)
+			wormhole.Connect(m.routers[east], PortEast, m.routers[west], PortWest)
+			wormhole.Connect(m.routers[west], PortWest, m.routers[east], PortEast)
+		}
+		for x := 0; x < cfg.K; x++ {
+			south := m.NodeID(x, cfg.K-1)
+			north := m.NodeID(x, 0)
+			wormhole.Connect(m.routers[south], PortSouth, m.routers[north], PortNorth)
+			wormhole.Connect(m.routers[north], PortNorth, m.routers[south], PortSouth)
+		}
+	}
+	return m, nil
+}
+
+// torusOutVC implements dateline virtual-channel switching: packets
+// start (and restart on every dimension change) in the lower half of
+// the VCs; the hop that crosses a wraparound link moves them to the
+// upper half. Within each unidirectional ring this breaks the channel
+// dependency cycle, so minimal dimension-order routing on the torus
+// is deadlock-free.
+func (m *Mesh) torusOutVC(at, outPort, inPort, inVC int) int {
+	if outPort == PortLocal {
+		return inVC // ejection: VC is immaterial
+	}
+	half := m.cfg.VCs / 2
+	vc := inVC
+	if dimOf(outPort) != dimOf(inPort) || inPort == PortLocal {
+		vc = inVC % half // fresh dimension: back to the lower half
+	}
+	if m.crossesWrap(at, outPort) && vc < half {
+		vc += half
+	}
+	return vc
+}
+
+// dimOf returns the dimension a port belongs to (0 = X, 1 = Y,
+// 2 = local).
+func dimOf(port int) int {
+	switch port {
+	case PortEast, PortWest:
+		return 0
+	case PortNorth, PortSouth:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// crossesWrap reports whether forwarding out of the given port of
+// node at traverses a wraparound link.
+func (m *Mesh) crossesWrap(at, outPort int) bool {
+	x, y := m.Coords(at)
+	switch outPort {
+	case PortEast:
+		return x == m.cfg.K-1
+	case PortWest:
+		return x == 0
+	case PortSouth:
+		return y == m.cfg.K-1
+	case PortNorth:
+		return y == 0
+	default:
+		return false
+	}
+}
+
+// NodeID maps mesh coordinates to a node id.
+func (m *Mesh) NodeID(x, y int) int { return y*m.cfg.K + x }
+
+// Coords maps a node id to mesh coordinates.
+func (m *Mesh) Coords(id int) (x, y int) { return id % m.cfg.K, id / m.cfg.K }
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.cfg.K * m.cfg.K }
+
+// route implements dimension-order (XY) routing: on the mesh it is
+// deadlock-free outright; on the torus it picks the minimal ring
+// direction per dimension and relies on dateline VC switching for
+// deadlock freedom.
+func (m *Mesh) route(at, dst int) int {
+	ax, ay := m.Coords(at)
+	dx, dy := m.Coords(dst)
+	if dx != ax {
+		if !m.cfg.Torus {
+			if dx > ax {
+				return PortEast
+			}
+			return PortWest
+		}
+		return ringDir(ax, dx, m.cfg.K, PortEast, PortWest)
+	}
+	if dy != ay {
+		if !m.cfg.Torus {
+			if dy > ay {
+				return PortSouth
+			}
+			return PortNorth
+		}
+		return ringDir(ay, dy, m.cfg.K, PortSouth, PortNorth)
+	}
+	return PortLocal
+}
+
+// ringDir returns the minimal direction around a K-ring from a to d
+// (ties go to the positive direction).
+func ringDir(a, d, k, pos, neg int) int {
+	fwd := (d - a + k) % k
+	bwd := (a - d + k) % k
+	if fwd <= bwd {
+		return pos
+	}
+	return neg
+}
+
+func (m *Mesh) onFlit(f flit.Flit, vc int, cycle int64) {
+	m.DeliveredFlits[f.Flow]++
+}
+
+func (m *Mesh) onTail(f flit.Flit, cycle int64) {
+	m.DeliveredPackets[f.Flow]++
+	if t0, ok := m.injectTime[f.PktID]; ok {
+		m.Latency.Add(float64(cycle - t0 + 1))
+		delete(m.injectTime, f.PktID)
+	}
+}
+
+// Send queues a packet for injection at node src toward node dst.
+// The packet's Flow is overwritten with src so per-source fairness is
+// measurable at the ejection sinks.
+func (m *Mesh) Send(src, dst, length int) {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic("noc: node id out of range")
+	}
+	if length < 1 {
+		panic("noc: packet length < 1")
+	}
+	id := m.nextID
+	m.nextID++
+	p := flit.Packet{Flow: src, Length: length, Dst: dst, ID: id}
+	m.injectTime[id] = m.cycle
+	m.inj[src].queue = append(m.inj[src].queue, p)
+}
+
+// PendingAt returns the number of packets queued or mid-injection at
+// node src.
+func (m *Mesh) PendingAt(src int) int {
+	st := &m.inj[src]
+	n := len(st.queue)
+	if st.flits != nil {
+		n++
+	}
+	return n
+}
+
+// InFlight returns the number of packets injected (or queued) but not
+// yet fully delivered.
+func (m *Mesh) InFlight() int { return len(m.injectTime) }
+
+// Cycle returns the current cycle.
+func (m *Mesh) Cycle() int64 { return m.cycle }
+
+// Step advances the whole mesh by one cycle.
+func (m *Mesh) Step() {
+	// Injection front ends: at most one flit per node per cycle.
+	for id := range m.inj {
+		st := &m.inj[id]
+		if st.flits == nil && len(st.queue) > 0 {
+			p := st.queue[0]
+			st.queue = st.queue[1:]
+			st.flits = p.Flits()
+			st.next = 0
+			// Torus packets must start in the lower (pre-dateline)
+			// half of the VCs.
+			injVCs := m.cfg.VCs
+			if m.cfg.Torus {
+				injVCs = m.cfg.VCs / 2
+			}
+			st.vc = st.nextVC % injVCs
+			st.nextVC = (st.nextVC + 1) % injVCs
+		}
+		if st.flits != nil {
+			if m.routers[id].Inject(PortLocal, st.vc, st.flits[st.next], m.cycle) {
+				st.next++
+				if st.next == len(st.flits) {
+					st.flits = nil
+				}
+			}
+		}
+	}
+	for _, r := range m.routers {
+		r.Step(m.cycle)
+	}
+	m.cycle++
+}
+
+// Run advances the mesh by n cycles.
+func (m *Mesh) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		m.Step()
+	}
+}
+
+// Drain steps until every in-flight packet is delivered or maxCycles
+// elapse; it reports whether the network drained.
+func (m *Mesh) Drain(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if m.InFlight() == 0 {
+			return true
+		}
+		m.Step()
+	}
+	return m.InFlight() == 0
+}
+
+// Router returns the router of a node (tests, instrumentation).
+func (m *Mesh) Router(id int) *wormhole.Router { return m.routers[id] }

@@ -1,0 +1,109 @@
+package noc
+
+import "repro/internal/rng"
+
+// Pattern chooses a destination node for a packet injected at src.
+type Pattern interface {
+	// Dest returns the destination node for a packet from src.
+	Dest(src int, s *rng.Source) int
+	// Name identifies the pattern in experiment output.
+	Name() string
+}
+
+// Uniform sends to a destination chosen uniformly among all other
+// nodes.
+type Uniform struct{ Nodes int }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, s *rng.Source) int {
+	d := s.Intn(u.Nodes - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Hotspot sends to Node with probability Frac, otherwise uniformly —
+// the classic congestion-forming pattern, and the one that stresses
+// arbitration fairness the hardest (many sources contend for the
+// links converging on the hotspot).
+type Hotspot struct {
+	Nodes int
+	Node  int
+	Frac  float64
+}
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int, s *rng.Source) int {
+	if src != h.Node && s.Bernoulli(h.Frac) {
+		return h.Node
+	}
+	return Uniform{Nodes: h.Nodes}.Dest(src, s)
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Transpose sends (x, y) -> (y, x); nodes on the diagonal send
+// uniformly.
+type Transpose struct{ K int }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src int, s *rng.Source) int {
+	x, y := src%t.K, src/t.K
+	if x == y {
+		return Uniform{Nodes: t.K * t.K}.Dest(src, s)
+	}
+	return x*t.K + y
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Injector drives a Mesh with Bernoulli packet injection per node.
+type Injector struct {
+	Mesh *Mesh
+	// Rate is the per-node injection probability per cycle.
+	Rate float64
+	// Pattern picks destinations.
+	Pattern Pattern
+	// Lengths draws packet lengths in flits.
+	Lengths rng.LengthDist
+	// Src is the randomness stream.
+	Src *rng.Source
+	// MaxPending caps the per-node injection queue so an overloaded
+	// network applies source back-pressure rather than growing an
+	// unbounded queue (0 = unbounded).
+	MaxPending int
+	// Injected counts generated packets per node.
+	Injected []int64
+}
+
+// NewInjector returns an injector over the mesh.
+func NewInjector(m *Mesh, rate float64, p Pattern, lengths rng.LengthDist, src *rng.Source) *Injector {
+	if rate < 0 || rate > 1 {
+		panic("noc: injection rate outside [0,1]")
+	}
+	return &Injector{
+		Mesh: m, Rate: rate, Pattern: p, Lengths: lengths, Src: src,
+		Injected: make([]int64, m.Nodes()),
+	}
+}
+
+// Step generates this cycle's new packets (call before Mesh.Step).
+func (in *Injector) Step() {
+	for node := 0; node < in.Mesh.Nodes(); node++ {
+		if in.MaxPending > 0 && in.Mesh.PendingAt(node) >= in.MaxPending {
+			continue
+		}
+		if !in.Src.Bernoulli(in.Rate) {
+			continue
+		}
+		dst := in.Pattern.Dest(node, in.Src)
+		in.Mesh.Send(node, dst, in.Lengths.Draw(in.Src))
+		in.Injected[node]++
+	}
+}

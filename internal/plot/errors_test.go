@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n successful writes.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.left--
+	return len(p), nil
+}
+
+func TestBarPropagatesWriteErrors(t *testing.T) {
+	for n := 0; n < 3; n++ {
+		w := &failWriter{left: n}
+		if err := Bar(w, "t", []string{"a", "b"}, []float64{1, 2}, 10); err == nil {
+			t.Errorf("Bar with writer failing at %d returned nil", n)
+		}
+	}
+}
+
+func TestLinesPropagatesWriteErrors(t *testing.T) {
+	s := []Series{{Name: "x", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	for n := 0; n < 5; n++ {
+		w := &failWriter{left: n}
+		if err := Lines(w, "t", s, 30, 6); err == nil {
+			t.Errorf("Lines with writer failing at %d returned nil", n)
+		}
+	}
+}
+
+func TestCSVPropagatesWriteErrors(t *testing.T) {
+	for n := 0; n < 2; n++ {
+		w := &failWriter{left: n}
+		if err := CSV(w, []string{"a"}, [][]float64{{1}}); err == nil {
+			t.Errorf("CSV with writer failing at %d returned nil", n)
+		}
+	}
+}
+
+func TestLinesGlyphCycling(t *testing.T) {
+	// More series than glyphs: glyphs wrap without panicking.
+	var series []Series
+	for i := 0; i < 8; i++ {
+		series = append(series, Series{
+			Name: string(rune('a' + i)),
+			X:    []float64{0, 1},
+			Y:    []float64{float64(i), float64(i + 1)},
+		})
+	}
+	w := &failWriter{left: 1 << 20}
+	if err := Lines(w, "many", series, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package plot renders the reproduction's "figures" in a terminal:
+// ASCII bar charts for the per-flow throughput comparisons
+// (Figure 4), ASCII line charts for the delay and fairness curves
+// (Figures 5 and 6), and CSV output for external plotting.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar renders a horizontal bar chart: one labelled bar per value,
+// scaled to width characters at the maximum value.
+func Bar(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("plot: %d labels for %d values", len(labels), len(values))
+	}
+	if width < 10 {
+		width = 60
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	max := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s | %s %.1f\n",
+			labelW, labels[i], strings.Repeat("#", n), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of (X, Y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Lines renders one or more series as an ASCII scatter/line chart of
+// the given dimensions. Each series uses its own glyph; overlapping
+// points show the glyph of the later series.
+func Lines(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 18
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '@', '%'}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d X for %d Y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("plot: no points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			r := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-r][c] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], s.Name)
+	}
+	if _, err := fmt.Fprintf(w, "  [%s]\n", strings.Join(legend, "  ")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  y: %.4g .. %.4g\n", minY, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "  |%s\n", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  +%s\n  x: %.4g .. %.4g\n",
+		strings.Repeat("-", width), minX, maxX); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CSV writes a header row and aligned columns of values, for external
+// plotting of any figure.
+func CSV(w io.Writer, header []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("plot: row has %d cells for %d columns", len(row), len(header))
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

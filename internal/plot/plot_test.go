@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	var sb strings.Builder
+	err := Bar(&sb, "Throughput", []string{"flow 0", "flow 1"}, []float64{100, 50}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Throughput") || !strings.Contains(out, "flow 0") {
+		t.Errorf("missing title/labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	// flow 0's bar should be about twice flow 1's.
+	c0 := strings.Count(lines[1], "#")
+	c1 := strings.Count(lines[2], "#")
+	if c0 != 20 || c1 != 10 {
+		t.Errorf("bar lengths %d/%d, want 20/10", c0, c1)
+	}
+}
+
+func TestBarMismatch(t *testing.T) {
+	var sb strings.Builder
+	if err := Bar(&sb, "x", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Error("mismatched labels/values accepted")
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	var sb strings.Builder
+	if err := Bar(&sb, "z", []string{"a", "b"}, []float64{0, 0}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "#") {
+		t.Error("zero values drew bars")
+	}
+}
+
+func TestLines(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, "Delay", []Series{
+		{Name: "ERR", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		{Name: "FCFS", X: []float64{1, 2, 3}, Y: []float64{15, 30, 60}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Delay", "*=ERR", "o=FCFS", "x: 1 .. 3", "y: 10 .. 60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("glyphs not plotted")
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Lines(&sb, "t", []Series{{Name: "bad", X: []float64{1}, Y: nil}}, 30, 8); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	if err := Lines(&sb, "t", nil, 30, 8); err == nil {
+		t.Error("empty plot accepted")
+	}
+}
+
+func TestLinesDegenerateRanges(t *testing.T) {
+	var sb strings.Builder
+	// A single point: both ranges degenerate; must not divide by zero.
+	if err := Lines(&sb, "pt", []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"x", "y"}, [][]float64{{1, 2}, {3, 4.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3,4.5\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCSVRowMismatch(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, []string{"x"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}

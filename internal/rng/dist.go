@@ -1,0 +1,151 @@
+package rng
+
+import "math"
+
+// LengthDist draws packet lengths in flits. Implementations must
+// always return a length in [1, Max()].
+type LengthDist interface {
+	// Draw returns the next packet length in flits, >= 1.
+	Draw(s *Source) int
+	// Max returns the largest length the distribution can produce —
+	// the paper's "Max", the largest packet that may *potentially*
+	// arrive. (The paper's "m" is the largest that actually arrived,
+	// which callers observe empirically.)
+	Max() int
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Uniform is a discrete uniform length distribution on [Lo, Hi],
+// the paper's U[1,64] and U[1,128] workloads.
+type Uniform struct {
+	Lo, Hi int
+}
+
+// NewUniform returns a uniform distribution on [lo, hi]. It panics if
+// the range is empty or lo < 1.
+func NewUniform(lo, hi int) Uniform {
+	if lo < 1 || hi < lo {
+		panic("rng: invalid uniform length range")
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+// Draw implements LengthDist.
+func (u Uniform) Draw(s *Source) int { return s.IntRange(u.Lo, u.Hi) }
+
+// Max implements LengthDist.
+func (u Uniform) Max() int { return u.Hi }
+
+// Name implements LengthDist.
+func (u Uniform) Name() string { return "uniform" }
+
+// Constant always returns the same length.
+type Constant struct {
+	Length int
+}
+
+// Draw implements LengthDist.
+func (c Constant) Draw(*Source) int { return c.Length }
+
+// Max implements LengthDist.
+func (c Constant) Max() int { return c.Length }
+
+// Name implements LengthDist.
+func (c Constant) Name() string { return "constant" }
+
+// TruncExp is the truncated exponential length distribution used in
+// the paper's Figure 6: lengths exponentially distributed with rate
+// Lambda, truncated to the range [Lo, Hi] (the paper uses λ = 0.2 on
+// [1, 64]). Large packets are much rarer than small ones, which is the
+// regime where ERR's 3m bound beats DRR's Max + 2m.
+type TruncExp struct {
+	Lambda float64
+	Lo, Hi int
+}
+
+// NewTruncExp returns the distribution, panicking on invalid
+// parameters.
+func NewTruncExp(lambda float64, lo, hi int) TruncExp {
+	if lambda <= 0 || lo < 1 || hi < lo {
+		panic("rng: invalid truncated exponential parameters")
+	}
+	return TruncExp{Lambda: lambda, Lo: lo, Hi: hi}
+}
+
+// Draw implements LengthDist by rejection from the exponential so the
+// shape inside the window is exactly exponential.
+func (e TruncExp) Draw(s *Source) int {
+	for {
+		x := e.Lo + int(math.Floor(s.Exp(e.Lambda)))
+		if x <= e.Hi {
+			return x
+		}
+	}
+}
+
+// Max implements LengthDist.
+func (e TruncExp) Max() int { return e.Hi }
+
+// Name implements LengthDist.
+func (e TruncExp) Name() string { return "truncexp" }
+
+// Bimodal draws Short with probability PShort and Long otherwise —
+// a stress distribution for the fairness ablations (most packets tiny,
+// occasional maximal packets, maximising the gap between m's typical
+// and worst-case influence).
+type Bimodal struct {
+	Short, Long int
+	PShort      float64
+}
+
+// Draw implements LengthDist.
+func (b Bimodal) Draw(s *Source) int {
+	if s.Bernoulli(b.PShort) {
+		return b.Short
+	}
+	return b.Long
+}
+
+// Max implements LengthDist.
+func (b Bimodal) Max() int {
+	if b.Long > b.Short {
+		return b.Long
+	}
+	return b.Short
+}
+
+// Name implements LengthDist.
+func (b Bimodal) Name() string { return "bimodal" }
+
+// BoundedPareto draws heavy-tailed lengths on [Lo, Hi] with shape
+// Alpha, for the heavy-tail ablation workloads.
+type BoundedPareto struct {
+	Alpha  float64
+	Lo, Hi int
+}
+
+// Draw implements LengthDist by inverse transform of the bounded
+// Pareto CDF.
+func (p BoundedPareto) Draw(s *Source) int {
+	l := float64(p.Lo)
+	h := float64(p.Hi)
+	u := s.Float64()
+	la := math.Pow(l, p.Alpha)
+	ha := math.Pow(h, p.Alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	n := int(math.Floor(x))
+	if n < p.Lo {
+		n = p.Lo
+	}
+	if n > p.Hi {
+		n = p.Hi
+	}
+	return n
+}
+
+// Max implements LengthDist.
+func (p BoundedPareto) Max() int { return p.Hi }
+
+// Name implements LengthDist.
+func (p BoundedPareto) Name() string { return "pareto" }

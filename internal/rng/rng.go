@@ -1,0 +1,139 @@
+// Package rng provides the deterministic pseudo-random number
+// generation used throughout the simulations. Every experiment in the
+// reproduction is seeded, so a run is exactly repeatable — a property
+// the paper's multi-user fairness argument makes a point of
+// ("repeatable performance necessary for benchmark applications").
+//
+// The core generator is SplitMix64 (Steele, Lea & Flood), which is
+// tiny, fast, passes BigCrush when used as a 64-bit stream, and —
+// crucially for us — is *splittable*: each traffic source derives an
+// independent stream from the experiment seed, so adding a flow never
+// perturbs the arrival sequence of another flow.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic 64-bit PRNG stream.
+type Source struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives an independent child stream. The parent advances, so
+// successive Split calls yield distinct children.
+func (s *Source) Split() *Source {
+	// Mix the parent's next output with an odd constant so that
+	// child streams starting from small seeds do not overlap the
+	// parent's trajectory.
+	return &Source{state: s.Uint64()*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3}
+}
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed float with rate lambda
+// (mean 1/lambda). It panics if lambda <= 0.
+func (s *Source) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp with lambda <= 0")
+	}
+	// Inverse transform; Float64 < 1 guarantees the log argument > 0.
+	return -math.Log(1-s.Float64()) / lambda
+}
+
+// Poisson returns a Poisson-distributed count with the given mean,
+// using Knuth's method for small means and a normal approximation
+// beyond that (mean > 30), which is more than accurate enough for
+// arrival batching in the simulations.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation with continuity correction.
+		n := int(s.Normal()*math.Sqrt(mean) + mean + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Normal returns a standard normal variate (Box–Muller).
+func (s *Source) Normal() float64 {
+	u1 := 1 - s.Float64() // (0,1]
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,353 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical outputs for different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling splits produced identical first output")
+	}
+	// Splitting must be deterministic given the parent seed.
+	e1 := New(7).Split()
+	f1 := New(7).Split()
+	if e1.Uint64() != f1.Uint64() {
+		t.Error("Split not deterministic")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	s := New(1)
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			s.Intn(n)
+		}()
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n = 10
+	const draws = 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(5)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := s.IntRange(3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("IntRange(3,9) = %d", v)
+		}
+		if v == 3 {
+			seenLo = true
+		}
+		if v == 9 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Error("IntRange endpoints never drawn in 10k samples")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(13)
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) empirical rate %.4f", p)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(17)
+	const lambda = 0.2
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := s.Exp(lambda)
+		if x < 0 {
+			t.Fatalf("Exp returned negative %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.1 {
+		t.Errorf("Exp(0.2) mean %.3f, want ~5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(19)
+	for _, mean := range []float64{0.5, 3, 50} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			k := s.Poisson(mean)
+			if k < 0 {
+				t.Fatalf("Poisson(%v) negative", mean)
+			}
+			sum += k
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) empirical mean %.3f", mean, got)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(23)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance %.4f", variance)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(29)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate %d after shuffle", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("shuffle lost elements: %d", len(seen))
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	s := New(31)
+	u := NewUniform(1, 64)
+	if u.Max() != 64 || u.Name() != "uniform" {
+		t.Error("Uniform metadata wrong")
+	}
+	for i := 0; i < 10000; i++ {
+		l := u.Draw(s)
+		if l < 1 || l > 64 {
+			t.Fatalf("uniform draw %d out of [1,64]", l)
+		}
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	for _, c := range []struct{ lo, hi int }{{0, 5}, {5, 4}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewUniform(%d,%d) did not panic", c.lo, c.hi)
+				}
+			}()
+			NewUniform(c.lo, c.hi)
+		}()
+	}
+}
+
+func TestConstantDist(t *testing.T) {
+	c := Constant{Length: 7}
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		if c.Draw(s) != 7 {
+			t.Fatal("Constant did not return its length")
+		}
+	}
+	if c.Max() != 7 {
+		t.Error("Constant Max wrong")
+	}
+}
+
+func TestTruncExpShape(t *testing.T) {
+	s := New(37)
+	e := NewTruncExp(0.2, 1, 64)
+	if e.Max() != 64 {
+		t.Error("TruncExp Max wrong")
+	}
+	const n = 100000
+	small, large := 0, 0
+	sum := 0
+	for i := 0; i < n; i++ {
+		l := e.Draw(s)
+		if l < 1 || l > 64 {
+			t.Fatalf("truncexp draw %d out of range", l)
+		}
+		sum += l
+		if l <= 8 {
+			small++
+		}
+		if l >= 56 {
+			large++
+		}
+	}
+	if small <= large*10 {
+		t.Errorf("exponential shape lost: %d small vs %d large draws", small, large)
+	}
+	// Mean of exp(0.2) is 5, so truncated mean ≈ 1 + ~4.8.
+	mean := float64(sum) / n
+	if mean < 4 || mean > 8 {
+		t.Errorf("truncexp mean %.2f outside plausible window", mean)
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	s := New(41)
+	b := Bimodal{Short: 2, Long: 64, PShort: 0.9}
+	if b.Max() != 64 {
+		t.Error("Bimodal Max wrong")
+	}
+	shorts := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		l := b.Draw(s)
+		if l != 2 && l != 64 {
+			t.Fatalf("bimodal drew %d", l)
+		}
+		if l == 2 {
+			shorts++
+		}
+	}
+	p := float64(shorts) / n
+	if math.Abs(p-0.9) > 0.01 {
+		t.Errorf("bimodal short fraction %.3f", p)
+	}
+}
+
+func TestBoundedPareto(t *testing.T) {
+	s := New(43)
+	p := BoundedPareto{Alpha: 1.2, Lo: 1, Hi: 128}
+	if p.Max() != 128 {
+		t.Error("Pareto Max wrong")
+	}
+	for i := 0; i < 20000; i++ {
+		l := p.Draw(s)
+		if l < 1 || l > 128 {
+			t.Fatalf("pareto draw %d out of range", l)
+		}
+	}
+}
+
+// Property: all length distributions respect their declared range for
+// arbitrary seeds.
+func TestDistsRespectRangeProperty(t *testing.T) {
+	dists := []LengthDist{
+		NewUniform(1, 64),
+		NewTruncExp(0.2, 1, 64),
+		Bimodal{Short: 1, Long: 128, PShort: 0.5},
+		BoundedPareto{Alpha: 1.5, Lo: 2, Hi: 100},
+		Constant{Length: 9},
+	}
+	prop := func(seed uint64) bool {
+		s := New(seed)
+		for _, d := range dists {
+			for i := 0; i < 50; i++ {
+				l := d.Draw(s)
+				if l < 1 || l > d.Max() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package sched
+
+import "repro/internal/queue"
+
+// FBRR is Flit-Based Round Robin: one flit from each active flow in
+// strict round-robin order. With a scheduling granularity of a single
+// flit it is the fairest discipline in throughput terms (Figure 4(b)
+// uses it as the fairness yardstick), but it is only applicable where
+// every flit carries a flow tag — scheduling virtual-channel output
+// queues onto a link — and never for input-to-output-queue scheduling
+// in a wormhole switch, where a packet's flits must stay contiguous.
+type FBRR struct {
+	active queue.ActiveList
+}
+
+// NewFBRR returns an FBRR flit scheduler.
+func NewFBRR() *FBRR { return &FBRR{} }
+
+// Name implements FlitScheduler.
+func (f *FBRR) Name() string { return "FBRR" }
+
+// OnArrival implements FlitScheduler.
+func (f *FBRR) OnArrival(flow int, wasEmpty bool) {
+	if !f.active.Contains(flow) {
+		f.active.PushTail(flow)
+	}
+}
+
+// NextFlow implements FlitScheduler.
+func (f *FBRR) NextFlow() int { return f.active.PeekHead() }
+
+// OnFlitDone implements FlitScheduler.
+func (f *FBRR) OnFlitDone(flow int, endOfPacket, nowEmpty bool) {
+	got := f.active.PopHead()
+	if got != flow {
+		panic("sched: FBRR flit completion out of order")
+	}
+	if !nowEmpty {
+		f.active.PushTail(flow)
+	}
+}

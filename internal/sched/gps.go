@@ -1,0 +1,80 @@
+package sched
+
+// GPS is the fluid Generalized Processor Sharing reference — the
+// unimplementable ideal the paper measures fairness against. It is
+// not a Scheduler: it serves infinitesimal amounts from every
+// backlogged flow simultaneously, so it is driven directly with
+// arrivals and advanced cycle by cycle. The experiments use it as the
+// absolute-fairness yardstick and the tests use it to sanity-check
+// the relative fairness measure.
+//
+// Capacity is one flit per cycle (matching the engine); within a
+// cycle the capacity is water-filled across backlogged flows in
+// proportion to their weights, re-splitting whenever a flow drains.
+type GPS struct {
+	weight  func(flow int) float64
+	backlog []float64
+	served  []float64
+}
+
+// NewGPS returns a fluid GPS reference over n flows; nil weight means
+// equal weights.
+func NewGPS(n int, weight func(flow int) float64) *GPS {
+	return &GPS{
+		weight:  weightFn(weight),
+		backlog: make([]float64, n),
+		served:  make([]float64, n),
+	}
+}
+
+// Arrive adds length flits of backlog to flow.
+func (g *GPS) Arrive(flow int, length int) {
+	g.backlog[flow] += float64(length)
+}
+
+// Step advances the fluid system by one cycle of unit capacity.
+func (g *GPS) Step() {
+	const eps = 1e-12
+	remaining := 1.0
+	for remaining > eps {
+		// Collect the backlogged set and its total weight.
+		totalW := 0.0
+		for i, b := range g.backlog {
+			if b > eps {
+				totalW += g.weight(i)
+			}
+		}
+		if totalW == 0 {
+			return // idle for the rest of the cycle
+		}
+		// Capacity needed to drain the first flow to empty.
+		spend := remaining
+		for i, b := range g.backlog {
+			if b > eps {
+				if need := b * totalW / g.weight(i); need < spend {
+					spend = need
+				}
+			}
+		}
+		for i, b := range g.backlog {
+			if b > eps {
+				amt := spend * g.weight(i) / totalW
+				if amt > b {
+					amt = b
+				}
+				g.backlog[i] -= amt
+				g.served[i] += amt
+			}
+		}
+		remaining -= spend
+	}
+}
+
+// Served returns the cumulative fluid service of flow, in flits.
+func (g *GPS) Served(flow int) float64 { return g.served[flow] }
+
+// Backlog returns the current fluid backlog of flow, in flits.
+func (g *GPS) Backlog(flow int) float64 { return g.backlog[flow] }
+
+// Name identifies the reference in experiment output.
+func (g *GPS) Name() string { return "GPS" }

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// White-box tests of the shared machinery: the tag heap and ring
+// buffers every discipline builds on.
+
+func TestTagHeapOrdering(t *testing.T) {
+	h := newTagHeap()
+	h.push(3, 5.0)
+	h.push(1, 2.0)
+	h.push(2, 9.0)
+	if f, tag := h.peekMin(); f != 1 || tag != 2.0 {
+		t.Fatalf("peekMin = (%d,%v)", f, tag)
+	}
+	order := []int{}
+	for h.Len() > 0 {
+		f, _ := h.popMin()
+		order = append(order, f)
+	}
+	want := []int{1, 3, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTagHeapTieBreakDeterministic(t *testing.T) {
+	h := newTagHeap()
+	h.push(7, 1.0)
+	h.push(2, 1.0)
+	h.push(5, 1.0)
+	order := []int{}
+	for h.Len() > 0 {
+		f, _ := h.popMin()
+		order = append(order, f)
+	}
+	// Equal tags break ties by flow id.
+	want := []int{2, 5, 7}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tie-break order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTagHeapPanics(t *testing.T) {
+	h := newTagHeap()
+	assertPanics(t, "popMin empty", func() { h.popMin() })
+	assertPanics(t, "peekMin empty", func() { h.peekMin() })
+	h.push(1, 1.0)
+	assertPanics(t, "duplicate push", func() { h.push(1, 2.0) })
+}
+
+// Property: the tag heap pops tags in non-decreasing order for any
+// insertion sequence of unique flows.
+func TestTagHeapSortedProperty(t *testing.T) {
+	prop := func(tags []float64) bool {
+		h := newTagHeap()
+		for i, tg := range tags {
+			if math.IsNaN(tg) {
+				tg = 0 // NaN tags are meaningless; normalise
+			}
+			h.push(i, tg)
+		}
+		last := math.Inf(-1)
+		for h.Len() > 0 {
+			_, tg := h.popMin()
+			if tg < last {
+				return false
+			}
+			last = tg
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFifoIntWrap(t *testing.T) {
+	var q fifoInt
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 5; i++ {
+			q.push(round*5 + i)
+		}
+		for i := 0; i < 5; i++ {
+			if got := q.pop(); got != round*5+i {
+				t.Fatalf("round %d: got %d", round, got)
+			}
+		}
+	}
+	if q.len() != 0 || !q.empty() {
+		t.Error("fifo not empty after balanced ops")
+	}
+	assertPanics(t, "pop empty", func() { q.pop() })
+	assertPanics(t, "peek empty", func() { q.peek() })
+}
+
+func TestFifoF64Wrap(t *testing.T) {
+	var q fifoF64
+	for i := 0; i < 100; i++ {
+		q.push(float64(i))
+	}
+	for i := 0; i < 100; i++ {
+		if q.peek() != float64(i) {
+			t.Fatalf("peek at %d wrong", i)
+		}
+		if q.pop() != float64(i) {
+			t.Fatalf("pop at %d wrong", i)
+		}
+	}
+	assertPanics(t, "pop empty", func() { q.pop() })
+}
+
+func TestWeightFnValidation(t *testing.T) {
+	w := weightFn(func(int) float64 { return -1 })
+	assertPanics(t, "negative weight", func() { w(0) })
+	def := weightFn(nil)
+	if def(42) != 1 {
+		t.Error("nil weight fn should default to 1")
+	}
+}
+
+func TestDRRPerFlowQuantum(t *testing.T) {
+	d := NewDRR(0, func(flow int) int64 { return int64(flow+1) * 10 })
+	d.OnArrival(0, true)
+	d.OnArrivalLength(0, 10)
+	d.OnArrival(1, true)
+	d.OnArrivalLength(1, 20)
+	// Flow 0: quantum 10 fits its 10-flit packet; flow 1: quantum 20
+	// fits its 20-flit packet. Both serve on first visit.
+	if f := d.NextFlow(); f != 0 {
+		t.Fatalf("first flow %d", f)
+	}
+	d.OnPacketDone(0, 10, true)
+	if f := d.NextFlow(); f != 1 {
+		t.Fatalf("second flow %d", f)
+	}
+	d.OnPacketDone(1, 20, true)
+}
+
+func TestNewDRRValidation(t *testing.T) {
+	assertPanics(t, "quantum 0", func() { NewDRR(0, nil) })
+}
+
+func TestWRRInvalidWeightPanics(t *testing.T) {
+	w := NewWRR(func(int) int { return 0 })
+	w.OnArrival(0, true)
+	assertPanics(t, "weight 0", func() { w.NextFlow() })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

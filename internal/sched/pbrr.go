@@ -1,0 +1,117 @@
+package sched
+
+import "repro/internal/queue"
+
+// PBRR is Packet-Based Round Robin: visit active flows in round-robin
+// order and transmit exactly one whole packet per visit. It is O(1)
+// but unfair when flows use different packet sizes — a flow sending
+// packets twice as long receives twice the bandwidth (Figure 4(a)).
+type PBRR struct {
+	active  queue.ActiveList
+	current int // flow being served, or -1
+}
+
+// NewPBRR returns a PBRR scheduler.
+func NewPBRR() *PBRR { return &PBRR{current: -1} }
+
+// Name implements Scheduler.
+func (p *PBRR) Name() string { return "PBRR" }
+
+// OnArrival implements Scheduler.
+func (p *PBRR) OnArrival(flow int, wasEmpty bool) {
+	// A flow currently in service is active even though it is not in
+	// the list; it will be re-appended by OnPacketDone if backlogged.
+	if flow != p.current && !p.active.Contains(flow) {
+		p.active.PushTail(flow)
+	}
+}
+
+// NextFlow implements Scheduler.
+func (p *PBRR) NextFlow() int {
+	if p.current != -1 {
+		panic("sched: PBRR.NextFlow while a packet is in service")
+	}
+	p.current = p.active.PopHead()
+	return p.current
+}
+
+// OnPacketDone implements Scheduler.
+func (p *PBRR) OnPacketDone(flow int, cost int64, nowEmpty bool) {
+	if flow != p.current {
+		panic("sched: PBRR completion for a flow not in service")
+	}
+	p.current = -1
+	if !nowEmpty {
+		p.active.PushTail(flow)
+	}
+}
+
+// HeadOfLineSafe implements HeadOfLineArb.
+func (p *PBRR) HeadOfLineSafe() {}
+
+var _ HeadOfLineArb = (*PBRR)(nil)
+
+// WRR is Weighted Round Robin: like PBRR, but flow i transmits up to
+// Weight(i) packets per round-robin visit. With equal weights it
+// degenerates to PBRR. Like PBRR it is blind to packet lengths, so it
+// shares PBRR's unfairness under heterogeneous packet sizes; it is
+// included as a baseline for the weighted-ERR extension.
+type WRR struct {
+	active  queue.ActiveList
+	weight  func(flow int) int
+	current int
+	left    int // packets remaining in the current visit
+}
+
+// NewWRR returns a WRR scheduler. weight must return >= 1 for every
+// flow; nil means weight 1 for all flows.
+func NewWRR(weight func(flow int) int) *WRR {
+	if weight == nil {
+		weight = func(int) int { return 1 }
+	}
+	return &WRR{weight: weight, current: -1}
+}
+
+// Name implements Scheduler.
+func (w *WRR) Name() string { return "WRR" }
+
+// OnArrival implements Scheduler.
+func (w *WRR) OnArrival(flow int, wasEmpty bool) {
+	if flow != w.current && !w.active.Contains(flow) {
+		w.active.PushTail(flow)
+	}
+}
+
+// NextFlow implements Scheduler.
+func (w *WRR) NextFlow() int {
+	if w.current != -1 {
+		return w.current // continue the current visit
+	}
+	w.current = w.active.PopHead()
+	w.left = w.weight(w.current)
+	if w.left < 1 {
+		panic("sched: WRR weight < 1")
+	}
+	return w.current
+}
+
+// OnPacketDone implements Scheduler.
+func (w *WRR) OnPacketDone(flow int, cost int64, nowEmpty bool) {
+	if flow != w.current {
+		panic("sched: WRR completion for a flow not in service")
+	}
+	w.left--
+	if nowEmpty {
+		w.current = -1
+		return
+	}
+	if w.left == 0 {
+		w.active.PushTail(flow)
+		w.current = -1
+	}
+}
+
+// HeadOfLineSafe implements HeadOfLineArb.
+func (w *WRR) HeadOfLineSafe() {}
+
+var _ HeadOfLineArb = (*WRR)(nil)

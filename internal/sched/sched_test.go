@@ -1,0 +1,439 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func pkt(flow, length int) flit.Packet { return flit.Packet{Flow: flow, Length: length} }
+
+// backloggedRun floods n flows with packets of the given lengths
+// distribution and returns per-flow flits served after serving total
+// packets.
+func backloggedRun(t *testing.T, s sched.Scheduler, n int, dist rng.LengthDist, packetsPerFlow, serve int, seed uint64) []int64 {
+	t.Helper()
+	d := harness.New(n, s)
+	src := rng.New(seed)
+	for k := 0; k < packetsPerFlow; k++ {
+		for f := 0; f < n; f++ {
+			d.Arrive(pkt(f, dist.Draw(src)))
+		}
+	}
+	d.ServeN(serve)
+	out := make([]int64, n)
+	for f := 0; f < n; f++ {
+		out[f] = d.Served(f)
+	}
+	return out
+}
+
+func TestFCFSServesInArrivalOrder(t *testing.T) {
+	d := harness.New(3, sched.NewFCFS())
+	arrivals := []flit.Packet{
+		{Flow: 2, Length: 5, ID: 0},
+		{Flow: 0, Length: 1, ID: 1},
+		{Flow: 2, Length: 2, ID: 2},
+		{Flow: 1, Length: 9, ID: 3},
+		{Flow: 0, Length: 3, ID: 4},
+	}
+	for _, p := range arrivals {
+		d.Arrive(p)
+	}
+	got := d.Drain()
+	for i, p := range got {
+		if p.ID != int64(i) {
+			t.Fatalf("position %d served packet id %d; FCFS must follow arrival order", i, p.ID)
+		}
+	}
+}
+
+func TestFCFSInterleavedArrivals(t *testing.T) {
+	d := harness.New(2, sched.NewFCFS())
+	d.Arrive(pkt(0, 4))
+	d.Arrive(pkt(1, 4))
+	if p := d.ServeOne(); p.Flow != 0 {
+		t.Fatalf("served flow %d first, want 0", p.Flow)
+	}
+	d.Arrive(pkt(0, 4))
+	// Flow 1's packet arrived before flow 0's second packet.
+	if p := d.ServeOne(); p.Flow != 1 {
+		t.Fatalf("served flow %d, want 1", p.Flow)
+	}
+	if p := d.ServeOne(); p.Flow != 0 {
+		t.Fatalf("served flow %d, want 0", p.Flow)
+	}
+}
+
+func TestFCFSBandwidthCapture(t *testing.T) {
+	// A flow sending 2x-length packets at the same packet rate grabs
+	// ~2x the bandwidth under FCFS (the Figure 4(c) effect).
+	d := harness.New(2, sched.NewFCFS())
+	for i := 0; i < 300; i++ {
+		d.Arrive(pkt(0, 32))
+		d.Arrive(pkt(1, 64))
+	}
+	d.ServeN(400)
+	r := float64(d.Served(1)) / float64(d.Served(0))
+	if r < 1.8 || r > 2.2 {
+		t.Errorf("FCFS service ratio %.2f, want ~2.0", r)
+	}
+}
+
+func TestPBRROnePacketPerVisit(t *testing.T) {
+	d := harness.New(3, sched.NewPBRR())
+	for f := 0; f < 3; f++ {
+		d.Arrive(pkt(f, 1))
+		d.Arrive(pkt(f, 1))
+	}
+	order := []int{}
+	for _, p := range d.Drain() {
+		order = append(order, p.Flow)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPBRRLongPacketsWin(t *testing.T) {
+	// PBRR serves one packet per visit regardless of size: a flow with
+	// 2x packets gets 2x throughput (Figure 4(a)).
+	d := harness.New(2, sched.NewPBRR())
+	for i := 0; i < 500; i++ {
+		d.Arrive(pkt(0, 32))
+		d.Arrive(pkt(1, 64))
+	}
+	d.ServeN(600)
+	r := float64(d.Served(1)) / float64(d.Served(0))
+	if r < 1.9 || r > 2.1 {
+		t.Errorf("PBRR service ratio %.3f, want ~2.0", r)
+	}
+}
+
+func TestPBRRLateJoinerNotStarved(t *testing.T) {
+	d := harness.New(3, sched.NewPBRR())
+	d.Arrive(pkt(0, 1))
+	d.Arrive(pkt(1, 1))
+	d.ServeOne() // serves flow 0
+	d.Arrive(pkt(2, 1))
+	d.Arrive(pkt(0, 1))
+	flows := []int{}
+	for _, p := range d.Drain() {
+		flows = append(flows, p.Flow)
+	}
+	// Flow 1 was at the head, then 2 and 0 joined behind it.
+	want := []int{1, 2, 0}
+	for i := range want {
+		if flows[i] != want[i] {
+			t.Fatalf("order %v, want %v", flows, want)
+		}
+	}
+}
+
+func TestWRRWeightedShares(t *testing.T) {
+	w := func(flow int) int { return []int{1, 3}[flow] }
+	d := harness.New(2, sched.NewWRR(w))
+	for i := 0; i < 400; i++ {
+		d.Arrive(pkt(0, 10))
+		d.Arrive(pkt(1, 10))
+	}
+	d.ServeN(400)
+	r := float64(d.Served(1)) / float64(d.Served(0))
+	if r < 2.8 || r > 3.2 {
+		t.Errorf("WRR 3:1 ratio came out %.2f", r)
+	}
+}
+
+func TestWRREqualWeightsIsPBRR(t *testing.T) {
+	a := harness.New(3, sched.NewWRR(nil))
+	b := harness.New(3, sched.NewPBRR())
+	src := rng.New(99)
+	lens := rng.NewUniform(1, 16)
+	for i := 0; i < 200; i++ {
+		f := src.Intn(3)
+		l := lens.Draw(src)
+		a.Arrive(pkt(f, l))
+		b.Arrive(pkt(f, l))
+	}
+	pa := a.Drain()
+	pb := b.Drain()
+	if len(pa) != len(pb) {
+		t.Fatal("different packet counts")
+	}
+	for i := range pa {
+		if pa[i].Flow != pb[i].Flow || pa[i].Length != pb[i].Length {
+			t.Fatalf("WRR(1) diverged from PBRR at packet %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestDRRFairUnderUnequalLengths(t *testing.T) {
+	// DRR equalises throughput even when one flow sends 2x-long
+	// packets (Figure 4(d) behaviour).
+	got := backloggedRun(t, sched.NewDRR(128, nil), 2, rng.NewUniform(1, 64), 2000, 1500, 7)
+	// Flow 1 draws from the same dist here; instead run explicit mix:
+	d := harness.New(2, sched.NewDRR(128, nil))
+	src := rng.New(7)
+	l64 := rng.NewUniform(1, 64)
+	l128 := rng.NewUniform(1, 128)
+	for i := 0; i < 2000; i++ {
+		d.Arrive(pkt(0, l64.Draw(src)))
+		d.Arrive(pkt(1, l128.Draw(src)))
+	}
+	d.ServeN(1500)
+	r := float64(d.Served(1)) / float64(d.Served(0))
+	if r < 0.95 || r > 1.05 {
+		t.Errorf("DRR throughput ratio %.3f, want ~1.0", r)
+	}
+	_ = got
+}
+
+func TestDRRDeficitAccumulates(t *testing.T) {
+	// Quantum 5, packets of 8 flits: flow must bank two visits before
+	// sending, then a deficit of 2 remains.
+	d := harness.New(2, sched.NewDRR(5, nil))
+	d.Arrive(pkt(0, 8))
+	d.Arrive(pkt(0, 8))
+	d.Arrive(pkt(1, 1))
+	// Flow 1's tiny packet fits on its first visit; flow 0 needs two
+	// quanta. Service order: flow1 (len1), then flow0.
+	p := d.ServeOne()
+	if p.Flow != 1 {
+		t.Fatalf("first served flow %d, want 1 (flow 0 lacks deficit)", p.Flow)
+	}
+	p = d.ServeOne()
+	if p.Flow != 0 || p.Length != 8 {
+		t.Fatalf("second service %+v, want flow 0 len 8", p)
+	}
+	d.Drain()
+}
+
+func TestDRRQuantumRespectsRounds(t *testing.T) {
+	// With quantum = 10 and 4-flit packets: the first visit serves 2
+	// packets (deficit 10 -> 2), the second serves 3 (carried deficit
+	// 2 + 10 = 12 -> 0, emptying the flow and resetting the deficit),
+	// and the last packet goes out on a fresh visit.
+	d := harness.New(2, sched.NewDRR(10, nil))
+	for i := 0; i < 6; i++ {
+		d.Arrive(pkt(0, 4))
+		d.Arrive(pkt(1, 4))
+	}
+	flows := []int{}
+	for _, p := range d.Drain() {
+		flows = append(flows, p.Flow)
+	}
+	want := []int{0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 0, 1}
+	for i := range want {
+		if flows[i] != want[i] {
+			t.Fatalf("order %v, want %v", flows, want)
+		}
+	}
+}
+
+func TestDRRResetsDeficitOnEmpty(t *testing.T) {
+	d := harness.New(1, sched.NewDRR(100, nil))
+	d.Arrive(pkt(0, 1))
+	d.ServeOne() // leaves deficit 99, then reset to 0 on empty
+	d.Arrive(pkt(0, 60))
+	d.Arrive(pkt(0, 60))
+	p := d.ServeOne()
+	if p.Length != 60 {
+		t.Fatal("unexpected packet")
+	}
+	// After one 60-flit packet the deficit is 40 < 60, so if the reset
+	// happened the second packet needs a new visit — which, with one
+	// flow, it gets immediately; observable via deficit not exceeding
+	// quantum: serve and ensure no panic (deficit never negative).
+	d.Drain()
+}
+
+func TestSCFQFairness(t *testing.T) {
+	d := harness.New(2, sched.NewSCFQ(nil))
+	src := rng.New(21)
+	l64 := rng.NewUniform(1, 64)
+	l128 := rng.NewUniform(1, 128)
+	for i := 0; i < 2000; i++ {
+		d.Arrive(pkt(0, l64.Draw(src)))
+		d.Arrive(pkt(1, l128.Draw(src)))
+	}
+	d.ServeN(1500)
+	r := float64(d.Served(1)) / float64(d.Served(0))
+	if r < 0.93 || r > 1.07 {
+		t.Errorf("SCFQ throughput ratio %.3f, want ~1.0", r)
+	}
+}
+
+func TestSCFQWeighted(t *testing.T) {
+	w := func(flow int) float64 { return []float64{1, 2}[flow] }
+	d := harness.New(2, sched.NewSCFQ(w))
+	for i := 0; i < 1000; i++ {
+		d.Arrive(pkt(0, 10))
+		d.Arrive(pkt(1, 10))
+	}
+	d.ServeN(900)
+	r := float64(d.Served(1)) / float64(d.Served(0))
+	if r < 1.85 || r > 2.15 {
+		t.Errorf("SCFQ 2:1 weights gave ratio %.3f", r)
+	}
+}
+
+func TestWFQFairness(t *testing.T) {
+	d := harness.New(3, sched.NewWFQ(nil))
+	src := rng.New(31)
+	dists := []rng.LengthDist{rng.NewUniform(1, 64), rng.NewUniform(1, 128), rng.NewUniform(16, 16)}
+	for i := 0; i < 3000; i++ {
+		for f := 0; f < 3; f++ {
+			d.Arrive(pkt(f, dists[f].Draw(src)))
+		}
+	}
+	d.ServeN(2500)
+	served := []float64{float64(d.Served(0)), float64(d.Served(1)), float64(d.Served(2))}
+	mean := (served[0] + served[1] + served[2]) / 3
+	if stats.MaxAbsDiff(served) > 0.1*mean {
+		t.Errorf("WFQ per-flow service spread too wide: %v", served)
+	}
+}
+
+func TestVirtualClockFairness(t *testing.T) {
+	d := harness.New(2, sched.NewVirtualClock(nil))
+	src := rng.New(41)
+	l64 := rng.NewUniform(1, 64)
+	l128 := rng.NewUniform(1, 128)
+	for i := 0; i < 2000; i++ {
+		d.Arrive(pkt(0, l64.Draw(src)))
+		d.Arrive(pkt(1, l128.Draw(src)))
+	}
+	d.ServeN(1500)
+	r := float64(d.Served(1)) / float64(d.Served(0))
+	if r < 0.93 || r > 1.07 {
+		t.Errorf("VirtualClock throughput ratio %.3f, want ~1.0", r)
+	}
+}
+
+func TestTimestampSchedulersDrainSingleFlow(t *testing.T) {
+	for _, s := range []sched.Scheduler{sched.NewSCFQ(nil), sched.NewWFQ(nil), sched.NewVirtualClock(nil)} {
+		d := harness.New(1, s)
+		for i := 0; i < 50; i++ {
+			d.Arrive(pkt(0, i%9+1))
+		}
+		got := d.Drain()
+		if len(got) != 50 {
+			t.Errorf("%s drained %d packets, want 50", s.Name(), len(got))
+		}
+		// Single flow must be served FIFO.
+		for i := 1; i < len(got); i++ {
+			if got[i].Length != i%9+1 {
+				t.Errorf("%s reordered a single flow's packets", s.Name())
+				break
+			}
+		}
+	}
+}
+
+// Property: every packet-granularity discipline is work-conserving
+// and loses no packets under random arrival/service interleavings.
+func TestAllSchedulersConserveWork(t *testing.T) {
+	mk := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewFCFS() },
+		func() sched.Scheduler { return sched.NewPBRR() },
+		func() sched.Scheduler { return sched.NewWRR(nil) },
+		func() sched.Scheduler { return sched.NewDRR(64, nil) },
+		func() sched.Scheduler { return sched.NewSCFQ(nil) },
+		func() sched.Scheduler { return sched.NewWFQ(nil) },
+		func() sched.Scheduler { return sched.NewVirtualClock(nil) },
+	}
+	for _, f := range mk {
+		s := f()
+		d := harness.New(4, s)
+		src := rng.New(1234)
+		lens := rng.NewUniform(1, 32)
+		sentFlits := int64(0)
+		arrived := 0
+		for step := 0; step < 5000; step++ {
+			if src.Bernoulli(0.6) || d.Backlog() == 0 {
+				p := pkt(src.Intn(4), lens.Draw(src))
+				d.Arrive(p)
+				arrived++
+			} else {
+				d.ServeOne()
+			}
+		}
+		served := len(d.Drain())
+		total := 0
+		for f := 0; f < 4; f++ {
+			sentFlits += d.Served(f)
+			total += d.QueueLen(f)
+		}
+		if total != 0 {
+			t.Errorf("%s left %d packets queued after Drain", s.Name(), total)
+		}
+		_ = served
+		if d.Backlog() != 0 {
+			t.Errorf("%s backlog accounting broken", s.Name())
+		}
+		if sentFlits == 0 {
+			t.Errorf("%s served no flits", s.Name())
+		}
+	}
+}
+
+func TestGPSEqualSplit(t *testing.T) {
+	g := sched.NewGPS(3, nil)
+	for f := 0; f < 3; f++ {
+		g.Arrive(f, 100)
+	}
+	for c := 0; c < 30; c++ {
+		g.Step()
+	}
+	for f := 0; f < 3; f++ {
+		if got := g.Served(f); got < 9.999 || got > 10.001 {
+			t.Errorf("GPS served %v to flow %d, want 10", got, f)
+		}
+	}
+}
+
+func TestGPSRedistributesOnDrain(t *testing.T) {
+	g := sched.NewGPS(2, nil)
+	g.Arrive(0, 1) // tiny backlog drains mid-way
+	g.Arrive(1, 100)
+	for c := 0; c < 10; c++ {
+		g.Step()
+	}
+	if got := g.Served(0); got != 1 {
+		t.Errorf("flow 0 served %v, want exactly its 1-flit backlog", got)
+	}
+	if got := g.Served(1); got < 8.999 || got > 9.001 {
+		t.Errorf("flow 1 served %v, want 9 (rest of capacity)", got)
+	}
+	if g.Backlog(0) != 0 {
+		t.Error("flow 0 backlog should be 0")
+	}
+}
+
+func TestGPSWeighted(t *testing.T) {
+	g := sched.NewGPS(2, func(f int) float64 { return []float64{1, 3}[f] })
+	g.Arrive(0, 1000)
+	g.Arrive(1, 1000)
+	for c := 0; c < 100; c++ {
+		g.Step()
+	}
+	r := g.Served(1) / g.Served(0)
+	if r < 2.999 || r > 3.001 {
+		t.Errorf("weighted GPS ratio %v, want 3", r)
+	}
+}
+
+func TestGPSIdle(t *testing.T) {
+	g := sched.NewGPS(2, nil)
+	g.Step() // must not panic or serve anything
+	if g.Served(0) != 0 || g.Served(1) != 0 {
+		t.Error("idle GPS served work")
+	}
+}

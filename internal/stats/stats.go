@@ -1,0 +1,223 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming mean/variance (Welford), histograms,
+// quantiles, and min/max tracking.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and variance without storing
+// samples. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2
+// samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 for no samples).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample (0 for no samples).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// CI95 returns the half-width of a ~95% confidence interval for the
+// mean using the normal approximation (adequate for the large sample
+// counts the experiments produce).
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// String implements fmt.Stringer.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f",
+		w.n, w.Mean(), w.Std(), w.Min(), w.Max())
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with overflow
+// and underflow buckets.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	under   int64
+	over    int64
+	n       int64
+	sum     float64
+}
+
+// NewHistogram returns a histogram with nb equal buckets over
+// [lo, hi). It panics on invalid parameters.
+func NewHistogram(lo, hi float64, nb int) *Histogram {
+	if nb <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, nb)}
+}
+
+// Add incorporates one sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i == len(h.buckets) { // guard float rounding at the top edge
+			i--
+		}
+		h.buckets[i]++
+	}
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the mean of all samples (including out-of-range ones).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) from the
+// bucket midpoints. Underflow/overflow samples clamp to the range
+// edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.n-1))
+	cum := h.under
+	if target < cum {
+		return h.lo
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		cum += c
+		if target < cum {
+			return h.lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.hi
+}
+
+// Quantiles computes exact quantiles of a sample slice (sorted copy,
+// linear interpolation). Intended for modest sample counts.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		frac := pos - float64(lo)
+		if lo+1 < len(sorted) {
+			out[i] = sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		} else {
+			out[i] = sorted[lo]
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the maximum absolute pairwise difference among
+// xs — the "max |Sent_i - Sent_j| over all pairs" that the paper's
+// fairness measure reduces to. O(n) via max - min.
+func MaxAbsDiff(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

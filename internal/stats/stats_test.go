@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 || w.Min() != 0 || w.Max() != 0 || w.CI95() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if !almostEqual(w.Var(), 32.0/7.0, 1e-12) {
+		t.Errorf("Var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+	if w.CI95() <= 0 {
+		t.Error("CI95 should be positive with 8 samples")
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Var() != 0 || w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Errorf("single-sample stats wrong: %s", w.String())
+	}
+}
+
+// Property: Welford matches the two-pass mean/variance computation.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			w.Add(xs[i])
+		}
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		return almostEqual(w.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			almostEqual(w.Var(), v, 1e-6*(1+v))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)  // underflow
+	h.Add(10)  // at hi => overflow
+	h.Add(100) // overflow
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d count %d, want 1", i, h.Bucket(i))
+		}
+	}
+	u, o := h.OutOfRange()
+	if u != 1 || o != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", u, o)
+	}
+	if h.N() != 13 {
+		t.Errorf("N = %d, want 13", h.N())
+	}
+	if h.NumBuckets() != 10 {
+		t.Errorf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramTopEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	// A value just below hi must land in the last bucket, not panic.
+	h.Add(math.Nextafter(1, 0))
+	if h.Bucket(2) != 1 {
+		t.Error("top-edge sample not in last bucket")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Errorf("median %v, want ~50", med)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		nb     int
+	}{{0, 1, 0}, {1, 1, 5}, {2, 1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", c.lo, c.hi, c.nb)
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.nb)
+		}()
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := Quantiles(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("Quantiles = %v, want [1 3 5]", got)
+	}
+	// Interpolation between sorted elements.
+	q := Quantiles([]float64{0, 10}, 0.25)[0]
+	if !almostEqual(q, 2.5, 1e-12) {
+		t.Errorf("interpolated quantile %v, want 2.5", q)
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Error("empty Quantiles should yield zeros")
+	}
+}
+
+func TestQuantilesDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantiles(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantiles mutated its input")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff(nil); got != 0 {
+		t.Errorf("MaxAbsDiff(nil) = %v", got)
+	}
+	if got := MaxAbsDiff([]float64{7}); got != 0 {
+		t.Errorf("single element = %v", got)
+	}
+	if got := MaxAbsDiff([]float64{3, 9, 5, 1}); got != 8 {
+		t.Errorf("MaxAbsDiff = %v, want 8", got)
+	}
+}
+
+// Property: MaxAbsDiff equals the brute-force max over all pairs.
+func TestMaxAbsDiffProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		want := 0.0
+		for i := range xs {
+			for j := range xs {
+				if d := math.Abs(xs[i] - xs[j]); d > want {
+					want = d
+				}
+			}
+		}
+		return MaxAbsDiff(xs) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

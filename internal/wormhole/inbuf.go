@@ -1,0 +1,78 @@
+package wormhole
+
+import "repro/internal/damq"
+
+// portBuf is the input buffering of one router port: either statically
+// partitioned per-VC FIFOs (the default) or a dynamically allocated
+// multi-queue shared buffer (DAMQ, Tamir & Frazier) — the paper's
+// "a single buffer can implement multiple logical queues". The
+// notified flag (head packet announced to its arbiter) lives here so
+// both modes share the announcement protocol.
+type portBuf struct {
+	fifos []*vcFIFO    // static mode
+	dyn   *damq.Buffer // shared mode
+	notif []bool
+}
+
+func newPortBuf(vcs, bufFlits, sharedFlits, cap int) *portBuf {
+	pb := &portBuf{notif: make([]bool, vcs)}
+	if sharedFlits > 0 {
+		pb.dyn = damq.New(sharedFlits, vcs, bufFlits)
+		if cap > 0 {
+			pb.dyn.SetCap(cap)
+		}
+		return pb
+	}
+	pb.fifos = make([]*vcFIFO, vcs)
+	for v := range pb.fifos {
+		pb.fifos[v] = newVCFIFO(bufFlits)
+	}
+	return pb
+}
+
+func (p *portBuf) empty(vc int) bool {
+	if p.dyn != nil {
+		return p.dyn.Empty(vc)
+	}
+	return p.fifos[vc].empty()
+}
+
+func (p *portBuf) len(vc int) int {
+	if p.dyn != nil {
+		return p.dyn.Len(vc)
+	}
+	return p.fifos[vc].len()
+}
+
+func (p *portBuf) canAccept(vc int) bool {
+	if p.dyn != nil {
+		return p.dyn.CanAccept(vc)
+	}
+	return !p.fifos[vc].full()
+}
+
+func (p *portBuf) push(vc int, e entry) {
+	if p.dyn != nil {
+		if !p.dyn.Push(vc, e.f, e.arrived) {
+			panic("wormhole: push to full DAMQ queue (flow control violated)")
+		}
+		return
+	}
+	p.fifos[vc].push(e)
+}
+
+func (p *portBuf) pop(vc int) entry {
+	if p.dyn != nil {
+		f, meta := p.dyn.Pop(vc)
+		return entry{f: f, arrived: meta}
+	}
+	return p.fifos[vc].pop()
+}
+
+func (p *portBuf) peek(vc int) entry {
+	if p.dyn != nil {
+		f, meta := p.dyn.Peek(vc)
+		return entry{f: f, arrived: meta}
+	}
+	return p.fifos[vc].peek()
+}

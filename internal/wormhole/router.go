@@ -1,0 +1,549 @@
+// Package wormhole implements a flit-level wormhole router with
+// virtual channels and credit-based flow control — the switch
+// substrate the paper's scheduling problem lives in. Entry into each
+// output queue (one per output port and VC) is arbitrated at packet
+// granularity by a pluggable sched.Scheduler (ERR, PBRR, WRR): once a
+// packet's head flit is granted an output queue, the queue stays
+// allocated to that packet until its tail flit passes, and the
+// arbiter is billed for the *cycles of occupancy* — which exceed the
+// packet length whenever downstream congestion stalls the worm. This
+// is exactly the regime in which the paper argues a scheduler must
+// not require a-priori packet lengths. The physical output link is
+// multiplexed flit by flit among the allocated VCs, the structure the
+// paper's Section 1 describes for switches with virtual channels.
+//
+// Routers are wired together (or to injection/ejection endpoints)
+// with Connect; package noc builds meshes and tori out of them.
+package wormhole
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/sched"
+)
+
+// entry is a buffered flit with its arrival cycle (a flit may not be
+// forwarded in the cycle it arrived, enforcing one hop per cycle).
+type entry struct {
+	f       flit.Flit
+	arrived int64
+}
+
+// vcFIFO is a statically partitioned flit buffer for one (input
+// port, VC) pair.
+type vcFIFO struct {
+	buf        []entry
+	head, size int
+}
+
+func newVCFIFO(capFlits int) *vcFIFO { return &vcFIFO{buf: make([]entry, capFlits)} }
+
+func (q *vcFIFO) empty() bool { return q.size == 0 }
+func (q *vcFIFO) full() bool  { return q.size == len(q.buf) }
+func (q *vcFIFO) len() int    { return q.size }
+
+func (q *vcFIFO) push(e entry) {
+	if q.full() {
+		panic("wormhole: push to full VC FIFO (credit protocol violated)")
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = e
+	q.size++
+}
+
+func (q *vcFIFO) pop() entry {
+	if q.empty() {
+		panic("wormhole: pop from empty VC FIFO")
+	}
+	e := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return e
+}
+
+func (q *vcFIFO) peek() entry {
+	if q.empty() {
+		panic("wormhole: peek on empty VC FIFO")
+	}
+	return q.buf[q.head]
+}
+
+// Endpoint consumes flits leaving one of a router's output ports.
+// Implementations: a neighbouring router's input port, or an
+// ejection sink.
+type Endpoint interface {
+	// AcceptFlit delivers a flit on the given VC at the given cycle.
+	AcceptFlit(f flit.Flit, vc int, cycle int64)
+	// BufFlits returns the per-VC buffer capacity of the endpoint,
+	// which initialises the sender's credit counters (0 = unlimited).
+	BufFlits() int
+}
+
+// creditReturn is invoked by a router when a flit leaves an input
+// FIFO, so the upstream sender regains a credit.
+type creditReturn func(vc int)
+
+// Config configures a Router.
+type Config struct {
+	// Ports is the number of ports (inputs == outputs). Port 0 is by
+	// convention the local (injection/ejection) port in package noc,
+	// but the router itself attaches no meaning to port numbers.
+	Ports int
+	// VCs is the number of virtual channels per port.
+	VCs int
+	// BufFlits is the capacity of each input VC FIFO in flits — or,
+	// when SharedBufFlits is set, the per-VC *reservation* inside the
+	// shared buffer.
+	BufFlits int
+	// SharedBufFlits, when > 0, replaces the statically partitioned
+	// per-VC input FIFOs with one dynamically allocated multi-queue
+	// buffer (DAMQ) of this many flits per input port, with BufFlits
+	// reserved per VC (the reservation keeps VC deadlock-avoidance
+	// schemes sound). Links feeding a shared-buffer router use
+	// stop/go gating instead of per-VC credits, since shared space
+	// cannot be represented by static credit counters.
+	SharedBufFlits int
+	// SharedBufCap, when > 0 with SharedBufFlits, limits any single
+	// VC's occupancy of the shared buffer. Without a cap a blocked
+	// worm can hog the entire shared region and make sharing worse
+	// than a static partition under congestion.
+	SharedBufCap int
+	// NewArb constructs the per-output-port packet arbiter. The flow
+	// ids presented to the arbiter are inputPort*VCs + vc.
+	NewArb func() sched.Scheduler
+	// Route maps a destination node id to an output port of this
+	// router.
+	Route func(dst int) int
+	// OutVC, if set, maps the VC a packet uses on its next hop given
+	// the output port, the head flit, and the input port/VC it
+	// occupies in this router. All flits of the packet use the VC
+	// computed once at grant time. nil means the VC is preserved
+	// hop to hop. Package noc uses this for torus dateline VC
+	// switching, which breaks the ring channel-dependency cycle.
+	OutVC func(outPort int, head flit.Flit, inPort, inVC int) int
+}
+
+// lock is the state of an output port owned by an in-flight packet.
+type lock struct {
+	active    bool
+	port, vc  int // input port and VC the packet occupies
+	outVC     int // VC the packet uses on the output link
+	flow      int
+	occupancy int64
+}
+
+// Router is one wormhole switch node.
+//
+// Arbitration follows the paper's two-level switch structure: entry
+// into each *output queue* — one per (output port, VC) — is allocated
+// at packet granularity by a sched.Scheduler, while the physical
+// output link is multiplexed flit by flit among the VCs that hold an
+// allocation (round-robin, i.e. FBRR across VCs, which the paper
+// notes is legitimate because every flit is tagged with its VC). A
+// packet blocked on one VC therefore never prevents another VC's
+// packet from advancing through the same port — the property the
+// torus dateline scheme needs for deadlock freedom.
+type Router struct {
+	cfg    Config
+	id     int
+	in     []*portBuf          // one input buffer complex per port
+	arbs   [][]sched.Scheduler // [outPort][outVC]
+	locks  [][]lock            // [outPort][outVC]
+	out    []Endpoint
+	crd    [][]int // credits toward downstream [port][vc]
+	credUp []creditReturn
+	// gateOut[o], when non-nil, is the stop/go space query used
+	// instead of credits on links into shared-buffer routers.
+	gateOut []func(vc int) bool
+
+	// eligible[o][v] counts flows currently registered with arbs[o][v].
+	eligible [][]int
+	// linkRR[o] is the round-robin pointer of output o's flit-level
+	// link multiplexer.
+	linkRR []int
+	// usedInput is scratch: which input ports moved a flit this cycle.
+	usedInput []bool
+}
+
+// NewRouter validates cfg and returns a router with all outputs
+// unconnected (connect them with Connect / ConnectSink before
+// stepping).
+func NewRouter(id int, cfg Config) (*Router, error) {
+	if cfg.Ports < 1 || cfg.VCs < 1 || cfg.BufFlits < 1 {
+		return nil, fmt.Errorf("wormhole: invalid config %+v", cfg)
+	}
+	if cfg.NewArb == nil || cfg.Route == nil {
+		return nil, fmt.Errorf("wormhole: NewArb and Route are required")
+	}
+	if cfg.SharedBufFlits > 0 && cfg.SharedBufFlits < cfg.VCs*cfg.BufFlits {
+		return nil, fmt.Errorf("wormhole: shared buffer %d smaller than reservations %d*%d",
+			cfg.SharedBufFlits, cfg.VCs, cfg.BufFlits)
+	}
+	r := &Router{
+		cfg:       cfg,
+		id:        id,
+		in:        make([]*portBuf, cfg.Ports),
+		arbs:      make([][]sched.Scheduler, cfg.Ports),
+		locks:     make([][]lock, cfg.Ports),
+		out:       make([]Endpoint, cfg.Ports),
+		crd:       make([][]int, cfg.Ports),
+		credUp:    make([]creditReturn, cfg.Ports),
+		gateOut:   make([]func(vc int) bool, cfg.Ports),
+		eligible:  make([][]int, cfg.Ports),
+		linkRR:    make([]int, cfg.Ports),
+		usedInput: make([]bool, cfg.Ports),
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		r.in[p] = newPortBuf(cfg.VCs, cfg.BufFlits, cfg.SharedBufFlits, cfg.SharedBufCap)
+		r.arbs[p] = make([]sched.Scheduler, cfg.VCs)
+		r.locks[p] = make([]lock, cfg.VCs)
+		r.eligible[p] = make([]int, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			arb := cfg.NewArb()
+			if _, ok := arb.(sched.LengthAware); ok {
+				return nil, fmt.Errorf("wormhole: arbiter %q requires a-priori packet lengths and cannot arbitrate a wormhole output", arb.Name())
+			}
+			hol, ok := arb.(sched.HeadOfLineArb)
+			if !ok {
+				return nil, fmt.Errorf("wormhole: arbiter %q does not satisfy the head-of-line arbitration contract (sched.HeadOfLineArb)", arb.Name())
+			}
+			r.arbs[p][v] = hol
+		}
+		r.crd[p] = make([]int, cfg.VCs)
+	}
+	return r, nil
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() int { return r.id }
+
+// Connect wires output port po of a to input port pi of b, setting up
+// the flow control: per-VC credits for statically partitioned inputs,
+// stop/go gating for shared-buffer (DAMQ) inputs.
+func Connect(a *Router, po int, b *Router, pi int) {
+	a.out[po] = neighbour{r: b, port: pi}
+	if b.cfg.SharedBufFlits > 0 {
+		a.gateOut[po] = func(vc int) bool { return b.in[pi].canAccept(vc) }
+		return
+	}
+	for v := range a.crd[po] {
+		a.crd[po][v] = b.cfg.BufFlits
+	}
+	b.credUp[pi] = func(vc int) { a.crd[po][vc]++ }
+}
+
+// ConnectEndpoint wires output port po of a to an arbitrary endpoint
+// (typically a Sink). Credits are initialised from the endpoint's
+// BufFlits (0 = unlimited).
+func ConnectEndpoint(a *Router, po int, e Endpoint) {
+	a.out[po] = e
+	buf := e.BufFlits()
+	for v := range a.crd[po] {
+		if buf == 0 {
+			a.crd[po][v] = int(^uint(0) >> 1) // effectively unlimited
+		} else {
+			a.crd[po][v] = buf
+		}
+	}
+}
+
+// neighbour adapts a router input port to Endpoint.
+type neighbour struct {
+	r    *Router
+	port int
+}
+
+// AcceptFlit implements Endpoint.
+func (n neighbour) AcceptFlit(f flit.Flit, vc int, cycle int64) {
+	n.r.acceptFlit(n.port, f, vc, cycle)
+}
+
+// BufFlits implements Endpoint.
+func (n neighbour) BufFlits() int { return n.r.cfg.BufFlits }
+
+// acceptFlit buffers an incoming flit and, if it exposes a new head
+// packet, announces it to the arbiter of its output.
+func (r *Router) acceptFlit(port int, f flit.Flit, vc int, cycle int64) {
+	pb := r.in[port]
+	wasEmpty := pb.empty(vc)
+	pb.push(vc, entry{f: f, arrived: cycle})
+	if wasEmpty {
+		r.announce(port, vc)
+	}
+}
+
+// Inject offers a flit to input port/vc directly (used by injection
+// endpoints and tests). It reports whether buffer space was
+// available.
+func (r *Router) Inject(port, vc int, f flit.Flit, cycle int64) bool {
+	if !r.in[port].canAccept(vc) {
+		return false
+	}
+	r.acceptFlit(port, f, vc, cycle)
+	return true
+}
+
+// InputFree returns the flit slots an input VC could accept right
+// now (for shared buffers this includes the free shared region).
+func (r *Router) InputFree(port, vc int) int {
+	pb := r.in[port]
+	if pb.dyn != nil {
+		return pb.dyn.SpaceFor(vc)
+	}
+	return len(pb.fifos[vc].buf) - pb.fifos[vc].size
+}
+
+// headTarget returns the (output port, output VC) the head flit of
+// (port, vc) is routed to.
+func (r *Router) headTarget(port, vc int, h flit.Flit) (o, ov int) {
+	o = r.cfg.Route(h.Dst)
+	ov = vc
+	if r.cfg.OutVC != nil {
+		ov = r.cfg.OutVC(o, h, port, vc)
+		if ov < 0 || ov >= r.cfg.VCs {
+			panic("wormhole: OutVC returned a VC out of range")
+		}
+	}
+	return o, ov
+}
+
+// announce registers the packet at the head of (port, vc) with the
+// arbiter of its routed output queue, if it is an unannounced head
+// flit.
+func (r *Router) announce(port, vc int) {
+	pb := r.in[port]
+	if pb.notif[vc] || pb.empty(vc) {
+		return
+	}
+	h := pb.peek(vc).f
+	if h.Kind != flit.Head && h.Kind != flit.HeadTail {
+		// Mid-packet flit: the packet was announced when its head
+		// arrived (or is currently locked); nothing to do.
+		return
+	}
+	o, ov := r.headTarget(port, vc, h)
+	flow := port*r.cfg.VCs + vc
+	r.arbs[o][ov].OnArrival(flow, true)
+	r.eligible[o][ov]++
+	pb.notif[vc] = true
+}
+
+// Step advances the router by one cycle: forward at most one flit per
+// output link (multiplexed round-robin among the VCs holding an
+// allocation), then grant idle output queues.
+func (r *Router) Step(cycle int64) {
+	usedInput := r.usedInput
+	for i := range usedInput {
+		usedInput[i] = false
+	}
+	V := r.cfg.VCs
+	// Phase 1: per output link, advance occupancy of every allocated
+	// packet (occupancy is wall-clock time to dequeue, the paper's
+	// replacement for packet length in wormhole networks) and forward
+	// one flit from the first movable VC in round-robin order.
+	for o := range r.locks {
+		for v := range r.locks[o] {
+			if r.locks[o][v].active {
+				r.locks[o][v].occupancy++
+			}
+		}
+		for k := 0; k < V; k++ {
+			v := (r.linkRR[o] + k) % V
+			l := &r.locks[o][v]
+			if !l.active {
+				continue
+			}
+			pb := r.in[l.port]
+			if usedInput[l.port] || pb.empty(l.vc) || pb.peek(l.vc).arrived >= cycle {
+				continue
+			}
+			// Downstream space: stop/go gate on shared-buffer links,
+			// per-VC credits otherwise.
+			if g := r.gateOut[o]; g != nil {
+				if !g(v) {
+					continue
+				}
+			} else if r.crd[o][v] <= 0 {
+				continue
+			}
+			e := pb.pop(l.vc)
+			usedInput[l.port] = true
+			if r.gateOut[o] == nil {
+				r.crd[o][v]--
+			}
+			if ret := r.credUp[l.port]; ret != nil {
+				ret(l.vc)
+			}
+			if r.out[o] == nil {
+				panic(fmt.Sprintf("wormhole: router %d output %d unconnected", r.id, o))
+			}
+			r.out[o].AcceptFlit(e.f, v, cycle)
+			if e.f.Kind == flit.Tail || e.f.Kind == flit.HeadTail {
+				r.completePacket(o, v)
+			}
+			r.linkRR[o] = (v + 1) % V
+			break // one flit per output link per cycle
+		}
+	}
+	// Phase 2: grant idle output queues to eligible flows (transfer
+	// begins next cycle).
+	for o := range r.locks {
+		for v := range r.locks[o] {
+			if r.locks[o][v].active || r.eligible[o][v] == 0 {
+				continue
+			}
+			flow := r.arbs[o][v].NextFlow()
+			r.eligible[o][v]--
+			port, vc := flow/V, flow%V
+			if r.in[port].empty(vc) {
+				panic("wormhole: arbiter granted a flow with no buffered head flit")
+			}
+			r.locks[o][v] = lock{active: true, port: port, vc: vc, outVC: v, flow: flow}
+		}
+	}
+}
+
+// completePacket releases output queue (o, v) after its packet's tail
+// flit passed, bills the arbiter with the occupancy, and announces
+// any next packet now at the head of the same input VC FIFO.
+func (r *Router) completePacket(o, v int) {
+	l := &r.locks[o][v]
+	port, vc, flow, occ := l.port, l.vc, l.flow, l.occupancy
+	r.locks[o][v] = lock{}
+	pb := r.in[port]
+	pb.notif[vc] = false
+	// Is the next head packet (if already buffered) routed to the same
+	// output queue? Then the flow stays active from the arbiter's
+	// viewpoint.
+	nowEmpty := true
+	if !pb.empty(vc) {
+		h := pb.peek(vc).f
+		if h.Kind == flit.Head || h.Kind == flit.HeadTail {
+			if o2, ov2 := r.headTarget(port, vc, h); o2 == o && ov2 == v {
+				nowEmpty = false
+				pb.notif[vc] = true
+			}
+		}
+	}
+	r.arbs[o][v].OnPacketDone(flow, occ, nowEmpty)
+	if !nowEmpty {
+		r.eligible[o][v]++
+	} else {
+		// The next packet (if any, and once its head flit is here) may
+		// target a different output queue.
+		r.announce(port, vc)
+	}
+}
+
+// Arb returns the arbiter of output queue (o, v) (for tests and
+// metrics).
+func (r *Router) Arb(o, v int) sched.Scheduler { return r.arbs[o][v] }
+
+// Sink is an ejection endpoint: it accepts every flit and reports
+// packet departures (tail flits). Its buffer is unlimited, modelling
+// an end system that always drains its network interface.
+type Sink struct {
+	// OnFlit, if set, observes every ejected flit.
+	OnFlit func(f flit.Flit, vc int, cycle int64)
+	// OnTail, if set, observes packet completions (tail or head+tail
+	// flits).
+	OnTail func(f flit.Flit, cycle int64)
+	// Flits counts ejected flits, Packets completed packets.
+	Flits, Packets int64
+}
+
+// AcceptFlit implements Endpoint.
+func (s *Sink) AcceptFlit(f flit.Flit, vc int, cycle int64) {
+	s.Flits++
+	if s.OnFlit != nil {
+		s.OnFlit(f, vc, cycle)
+	}
+	if f.Kind == flit.Tail || f.Kind == flit.HeadTail {
+		s.Packets++
+		if s.OnTail != nil {
+			s.OnTail(f, cycle)
+		}
+	}
+}
+
+// BufFlits implements Endpoint (0 = unlimited).
+func (s *Sink) BufFlits() int { return 0 }
+
+// StallSink is an ejection endpoint with a bounded buffer that drains
+// at a configurable pattern, creating downstream congestion on
+// demand: Drain is consulted each cycle; when it returns true one
+// buffered flit leaves. Use Step to advance it.
+type StallSink struct {
+	Capacity int
+	Drain    func(cycle int64) bool
+	Inner    Sink
+	buffered []flit.Flit
+	credUp   creditReturn
+	vcs      []int
+}
+
+// NewStallSink returns a stall sink with the given buffer capacity.
+func NewStallSink(capacity int, drain func(cycle int64) bool) *StallSink {
+	if capacity < 1 {
+		panic("wormhole: StallSink capacity < 1")
+	}
+	return &StallSink{Capacity: capacity, Drain: drain}
+}
+
+// AcceptFlit implements Endpoint.
+func (s *StallSink) AcceptFlit(f flit.Flit, vc int, cycle int64) {
+	if len(s.buffered) >= s.Capacity {
+		panic("wormhole: StallSink overflow (credit protocol violated)")
+	}
+	s.buffered = append(s.buffered, f)
+	s.vcs = append(s.vcs, vc)
+}
+
+// BufFlits implements Endpoint.
+func (s *StallSink) BufFlits() int { return s.Capacity }
+
+// Bind attaches the sink to the router output feeding it so drained
+// flits return credits. Call after ConnectEndpoint.
+func (s *StallSink) Bind(r *Router, po int) {
+	s.credUp = func(vc int) { r.crd[po][vc]++ }
+}
+
+// Step drains at most one flit if the drain pattern allows.
+func (s *StallSink) Step(cycle int64) {
+	if len(s.buffered) == 0 || s.Drain == nil || !s.Drain(cycle) {
+		return
+	}
+	f, vc := s.buffered[0], s.vcs[0]
+	s.buffered = s.buffered[1:]
+	s.vcs = s.vcs[1:]
+	if s.credUp != nil {
+		s.credUp(vc)
+	}
+	s.Inner.AcceptFlit(f, vc, cycle)
+}
+
+// DumpState prints the router's output-queue allocations, FIFO
+// occupancies and credit counters — a debugging aid for deadlock
+// analysis.
+func (r *Router) DumpState() {
+	for o := range r.locks {
+		for v := range r.locks[o] {
+			l := r.locks[o][v]
+			if l.active {
+				fmt.Printf("router %d out (%d,%d): LOCKED in=(%d,%d) occ=%d fifo=%d crd=%d elig=%d\n",
+					r.id, o, v, l.port, l.vc, l.occupancy, r.in[l.port].len(l.vc), r.crd[o][v], r.eligible[o][v])
+			} else if r.eligible[o][v] > 0 {
+				fmt.Printf("router %d out (%d,%d): idle but eligible=%d crd=%d\n", r.id, o, v, r.eligible[o][v], r.crd[o][v])
+			}
+		}
+	}
+	for p := range r.in {
+		for v := 0; v < r.cfg.VCs; v++ {
+			if !r.in[p].empty(v) {
+				h := r.in[p].peek(v).f
+				fmt.Printf("router %d in (%d,%d): %d flits, head %v dst=%d notified=%v\n",
+					r.id, p, v, r.in[p].len(v), h.Kind, h.Dst, r.in[p].notif[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package wormhole
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+)
+
+// Tests of the per-(output, VC) allocation and flit-level link
+// multiplexing introduced for the paper's two-level switch structure.
+
+func TestLinkMultiplexesVCs(t *testing.T) {
+	// Two packets on different VCs of different inputs, both to
+	// output 0: each gets its own output-queue allocation and the
+	// link interleaves their flits round-robin.
+	r, err := NewRouter(0, testConfig(3, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &Sink{}
+	var order []int // vc sequence on the link
+	sink.OnFlit = func(f flit.Flit, vc int, cycle int64) { order = append(order, vc) }
+	ConnectEndpoint(r, 0, sink)
+	injectPacket(t, r, 1, 0, flit.Packet{Flow: 10, Length: 4, Dst: 0}, 0)
+	injectPacket(t, r, 2, 1, flit.Packet{Flow: 21, Length: 4, Dst: 0}, 0)
+	for c := int64(0); c < 20; c++ {
+		r.Step(c)
+	}
+	if sink.Packets != 2 {
+		t.Fatalf("delivered %d packets, want 2", sink.Packets)
+	}
+	// Both VCs must appear interleaved, not one fully before the
+	// other.
+	firstVC := order[0]
+	sawOtherBeforeEnd := false
+	for _, vc := range order[:4] {
+		if vc != firstVC {
+			sawOtherBeforeEnd = true
+		}
+	}
+	if !sawOtherBeforeEnd {
+		t.Errorf("link did not interleave VCs: %v", order)
+	}
+}
+
+func TestBlockedVCDoesNotStallOtherVC(t *testing.T) {
+	// VC 0's packet is destined to a stalled output queue; VC 1's
+	// packet to the same *port* keeps flowing. This is the property
+	// that makes dateline deadlock avoidance work.
+	r, err := NewRouter(0, testConfig(3, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output 0 drains VC1 flits but its buffer is tiny, so VC0's worm
+	// stalls after the buffer fills... instead: block VC0 by routing
+	// it to an output with zero drain while VC1 uses output 0.
+	stalled := NewStallSink(1, func(int64) bool { return false })
+	ConnectEndpoint(r, 1, stalled)
+	stalled.Bind(r, 1)
+	sink := &Sink{}
+	ConnectEndpoint(r, 0, sink)
+
+	injectPacket(t, r, 2, 0, flit.Packet{Flow: 20, Length: 6, Dst: 1}, 0) // will stall
+	injectPacket(t, r, 2, 1, flit.Packet{Flow: 21, Length: 6, Dst: 0}, 0) // must flow
+	for c := int64(0); c < 40; c++ {
+		r.Step(c)
+	}
+	if sink.Packets != 1 {
+		t.Errorf("VC1 packet blocked by VC0's stalled worm")
+	}
+}
+
+func TestOutVCRemap(t *testing.T) {
+	// An OutVC hook that forces VC 1 on output 0: the flit must leave
+	// tagged VC 1 and consume VC-1 credits.
+	cfg := testConfig(2, 2, 8)
+	cfg.OutVC = func(outPort int, head flit.Flit, inPort, inVC int) int {
+		if outPort == 0 {
+			return 1
+		}
+		return inVC
+	}
+	r, err := NewRouter(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &Sink{}
+	var vcs []int
+	sink.OnFlit = func(f flit.Flit, vc int, cycle int64) { vcs = append(vcs, vc) }
+	ConnectEndpoint(r, 0, sink)
+	injectPacket(t, r, 1, 0, flit.Packet{Flow: 1, Length: 3, Dst: 0}, 0)
+	for c := int64(0); c < 10; c++ {
+		r.Step(c)
+	}
+	if sink.Packets != 1 {
+		t.Fatal("packet not delivered")
+	}
+	for _, vc := range vcs {
+		if vc != 1 {
+			t.Fatalf("flit left on VC %d, want 1 (remapped)", vc)
+		}
+	}
+}
+
+func TestOutVCOutOfRangePanics(t *testing.T) {
+	cfg := testConfig(2, 2, 8)
+	cfg.OutVC = func(int, flit.Flit, int, int) int { return 7 }
+	r, err := NewRouter(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ConnectEndpoint(r, 0, &Sink{})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range OutVC did not panic")
+		}
+	}()
+	injectPacket(t, r, 1, 0, flit.Packet{Flow: 1, Length: 1, Dst: 0}, 0)
+	for c := int64(0); c < 5; c++ {
+		r.Step(c)
+	}
+}
+
+func TestPerVCArbitersIndependent(t *testing.T) {
+	// Two inputs on VC0 and one input on VC1 all target output 0.
+	// The VC0 arbiter shares its queue's bandwidth between the two
+	// VC0 inputs; the VC1 input keeps its own allocation. With the
+	// link multiplexing fairly between two busy VCs, the VC1 input
+	// gets ~1/2 of the link and each VC0 input ~1/4.
+	r, err := NewRouter(0, testConfig(4, 2, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &Sink{}
+	served := map[int]int64{}
+	sink.OnFlit = func(f flit.Flit, vc int, cycle int64) { served[f.Flow]++ }
+	ConnectEndpoint(r, 0, sink)
+	for c := int64(0); c < 60000; c++ {
+		for _, in := range []struct{ port, vc int }{{1, 0}, {2, 0}, {3, 1}} {
+			if r.InputFree(in.port, in.vc) >= 4 {
+				injectPacket(t, r, in.port, in.vc,
+					flit.Packet{Flow: in.port*2 + in.vc, Length: 4, Dst: 0}, c)
+			}
+		}
+		r.Step(c)
+	}
+	vc1 := float64(served[7])  // input 3, vc 1
+	vc0a := float64(served[2]) // input 1, vc 0
+	vc0b := float64(served[4]) // input 2, vc 0
+	total := vc1 + vc0a + vc0b
+	if r := vc1 / total; r < 0.45 || r > 0.55 {
+		t.Errorf("VC1 share %.3f, want ~0.5", r)
+	}
+	if r := vc0a / vc0b; r < 0.9 || r > 1.1 {
+		t.Errorf("VC0 inputs unbalanced: %.3f", r)
+	}
+}
