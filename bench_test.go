@@ -8,6 +8,7 @@ package repro
 // Run with: go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -78,11 +79,12 @@ func benchFig5(b *testing.B, panel string) {
 func BenchmarkFig5a(b *testing.B) { benchFig5(b, "a") }
 func BenchmarkFig5b(b *testing.B) { benchFig5(b, "b") }
 
-func BenchmarkFig6(b *testing.B) {
+func benchFig6(b *testing.B, workers int) {
 	p := experiments.DefaultFig6Params()
 	p.Cycles = 100_000
 	p.Intervals = 1_000
 	p.MaxFlows = 6
+	p.Workers = workers
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig6(p)
 		if err != nil {
@@ -93,6 +95,13 @@ func BenchmarkFig6(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFig6 is the serial baseline; BenchmarkFig6Parallel runs
+// the identical workload through the 4-worker pool. The two render
+// byte-identical artifacts (see TestParallelMatchesSerial); the delta
+// is pure wall-clock.
+func BenchmarkFig6(b *testing.B)         { benchFig6(b, 1) }
+func BenchmarkFig6Parallel(b *testing.B) { benchFig6(b, 4) }
 
 // Figure 3 is a trace artifact: benchmark regenerating it.
 func BenchmarkFig3Trace(b *testing.B) {
@@ -284,6 +293,32 @@ func BenchmarkEngineCycleERR(b *testing.B) {
 	}
 	b.ResetTimer()
 	e.Run(int64(b.N))
+}
+
+// BenchmarkEngineCycleFBRRSparse exercises the flit-mode engine with
+// many flows and sparse traffic — the regime where the old per-cycle
+// O(flows) pending scan (and O(flows) Backlog) dominated. With the
+// partial-flow counter the idle check is O(1), so ns/cycle stays flat
+// as the flow count grows.
+func BenchmarkEngineCycleFBRRSparse(b *testing.B) {
+	for _, flows := range []int{16, 256, 2048} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			src := rng.New(11)
+			// A single low-rate source: most cycles have an empty
+			// system, forcing the pending/idle check every cycle, and
+			// source stepping stays O(1) so the check dominates.
+			e, err := engine.NewEngine(engine.Config{
+				Flows:     flows,
+				FlitSched: sched.NewFBRR(),
+				Source:    traffic.NewBernoulli(0, 0.01, rng.NewUniform(1, 8), src),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			e.Run(int64(b.N))
+		})
+	}
 }
 
 func BenchmarkOmegaStep(b *testing.B) {

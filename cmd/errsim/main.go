@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -44,21 +45,23 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		intervals = flag.Int("intervals", 0, "fig6: random intervals to average over (0 = paper's 10000)")
 		repeats   = flag.Int("repeats", 0, "fig5: seeds to average each point over (0 = default 5)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent simulation jobs (1 = serial; output is identical for any value)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of ASCII/CSV")
 	)
 	flag.Parse()
-	if err := run(*exp, *cycles, *seed, *intervals, *repeats, *jsonOut); err != nil {
+	if err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON bool) error {
+func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, asJSON bool) error {
 	out := os.Stdout
 	switch exp {
 	case "table1":
 		p := experiments.DefaultTable1Params()
 		p.Fig4.Seed = seed
+		p.Workers = parallel
 		if cycles > 0 {
 			p.Fig4.Cycles = cycles
 		}
@@ -75,6 +78,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 		}
 		p := experiments.DefaultFig4Params()
 		p.Seed = seed
+		p.Workers = parallel
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -91,6 +95,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 		}
 		p := experiments.DefaultFig5Params()
 		p.Seed = seed
+		p.Workers = parallel
 		if cycles > 0 {
 			p.BurstCycles = cycles
 		}
@@ -106,6 +111,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 	case "fig6":
 		p := experiments.DefaultFig6Params()
 		p.Seed = seed
+		p.Workers = parallel
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -121,6 +127,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 	case "fig6ext":
 		p := experiments.DefaultFig6ExtParams()
 		p.Seed = seed
+		p.Workers = parallel
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -160,6 +167,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 	case "weighted":
 		p := experiments.DefaultWeightedParams()
 		p.Seed = seed
+		p.Workers = parallel
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -172,6 +180,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 	case "gap":
 		p := experiments.DefaultGapParams()
 		p.Seed = seed
+		p.Workers = parallel
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -184,6 +193,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 	case "nocsweep", "nocsweep-torus":
 		p := experiments.DefaultNoCSweepParams()
 		p.Seed = seed
+		p.Workers = parallel
 		p.Torus = exp == "nocsweep-torus"
 		if cycles > 0 {
 			p.WarmCycles = cycles
@@ -196,6 +206,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats int, asJSON b
 
 	case "parkinglot":
 		p := experiments.DefaultParkingLotParams()
+		p.Workers = parallel
 		if cycles > 0 {
 			p.Cycles = cycles
 		}

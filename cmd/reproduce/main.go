@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -28,18 +29,19 @@ type renderer interface {
 
 func main() {
 	var (
-		out   = flag.String("out", "results", "output directory")
-		quick = flag.Bool("quick", false, "scale run lengths down ~10x")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "results", "output directory")
+		quick    = flag.Bool("quick", false, "scale run lengths down ~10x")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent simulation jobs (1 = serial; artifacts are identical for any value)")
 	)
 	flag.Parse()
-	if err := run(*out, *quick, *seed); err != nil {
+	if err := run(*out, *quick, *seed, *parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, quick bool, seed uint64) error {
+func run(outDir string, quick bool, seed uint64, parallel int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -58,18 +60,21 @@ func run(outDir string, quick bool, seed uint64) error {
 		{"table1.txt", func() (renderer, error) {
 			p := experiments.DefaultTable1Params()
 			p.Fig4.Seed = seed
+			p.Workers = parallel
 			p.Fig4.Cycles = scale(p.Fig4.Cycles)
 			return experiments.RunTable1(p)
 		}},
 		{"fig4.txt", func() (renderer, error) {
 			p := experiments.DefaultFig4Params()
 			p.Seed = seed
+			p.Workers = parallel
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunFig4(p, "all")
 		}},
 		{"fig5.txt", func() (renderer, error) {
 			p := experiments.DefaultFig5Params()
 			p.Seed = seed
+			p.Workers = parallel
 			if quick {
 				p.Repeats = 2
 			}
@@ -78,6 +83,7 @@ func run(outDir string, quick bool, seed uint64) error {
 		{"fig6.txt", func() (renderer, error) {
 			p := experiments.DefaultFig6Params()
 			p.Seed = seed
+			p.Workers = parallel
 			p.Cycles = scale(p.Cycles)
 			if quick {
 				p.Intervals = 2000
@@ -87,6 +93,7 @@ func run(outDir string, quick bool, seed uint64) error {
 		{"fig6ext.txt", func() (renderer, error) {
 			p := experiments.DefaultFig6ExtParams()
 			p.Seed = seed
+			p.Workers = parallel
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunFig6Ext(p)
 		}},
@@ -105,12 +112,14 @@ func run(outDir string, quick bool, seed uint64) error {
 		{"weighted.txt", func() (renderer, error) {
 			p := experiments.DefaultWeightedParams()
 			p.Seed = seed
+			p.Workers = parallel
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunWeighted(p)
 		}},
 		{"gap.txt", func() (renderer, error) {
 			p := experiments.DefaultGapParams()
 			p.Seed = seed
+			p.Workers = parallel
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunGap(p)
 		}},
@@ -122,12 +131,14 @@ func run(outDir string, quick bool, seed uint64) error {
 		}},
 		{"parkinglot.txt", func() (renderer, error) {
 			p := experiments.DefaultParkingLotParams()
+			p.Workers = parallel
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunParkingLot(p)
 		}},
 		{"nocsweep.txt", func() (renderer, error) {
 			p := experiments.DefaultNoCSweepParams()
 			p.Seed = seed
+			p.Workers = parallel
 			p.WarmCycles = scale(p.WarmCycles)
 			return experiments.RunNoCSweep(p)
 		}},

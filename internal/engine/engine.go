@@ -97,6 +97,9 @@ type Engine struct {
 	// Flit-granularity service state: per-flow partial packet.
 	partial   []flit.Packet
 	remaining []int
+	// partialFlows counts flows with remaining > 0, so the per-cycle
+	// pending check and Backlog are O(1) instead of O(flows).
+	partialFlows int
 
 	backlogPackets int
 }
@@ -151,11 +154,7 @@ func (e *Engine) Backlog() int {
 			n++
 		}
 	} else {
-		for f := range e.remaining {
-			if e.remaining[f] > 0 {
-				n++
-			}
-		}
+		n += e.partialFlows
 	}
 	return n
 }
@@ -261,15 +260,10 @@ func (e *Engine) stepPacketMode() {
 }
 
 func (e *Engine) stepFlitMode() {
-	// Any flow with a partial packet or queued packets has flits.
-	has := false
-	for f := range e.remaining {
-		if e.remaining[f] > 0 || !e.queues[f].Empty() {
-			has = true
-			break
-		}
-	}
-	if !has {
+	// Any flow with a partial packet or queued packets has flits;
+	// backlogPackets counts the queued ones and partialFlows the
+	// mid-service ones, so the check is O(1).
+	if e.backlogPackets == 0 && e.partialFlows == 0 {
 		e.idle()
 		return
 	}
@@ -282,8 +276,12 @@ func (e *Engine) stepFlitMode() {
 		e.partial[flow] = q.Pop()
 		e.backlogPackets--
 		e.remaining[flow] = e.partial[flow].Length
+		e.partialFlows++
 	}
 	e.remaining[flow]--
+	if e.remaining[flow] == 0 {
+		e.partialFlows--
+	}
 	if e.cfg.OnFlit != nil {
 		e.cfg.OnFlit(e.cycle, flow)
 	}

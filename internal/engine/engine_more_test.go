@@ -158,6 +158,44 @@ func TestFlitModeBacklogAccounting(t *testing.T) {
 	}
 }
 
+// TestFlitModeBacklogCounterMatchesScan cross-checks the O(1)
+// flit-mode backlog counter against a brute-force scan of the queues
+// at every cycle, over a workload that includes length-1 packets (a
+// packet that is popped and completed in the same step).
+func TestFlitModeBacklogCounterMatchesScan(t *testing.T) {
+	const flows = 5
+	e, err := NewEngine(Config{Flows: flows, FlitSched: sched.NewFBRR()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := func() int {
+		n := 0
+		for f := 0; f < flows; f++ {
+			n += e.queues[f].Len()
+			if e.remaining[f] > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	src := rng.New(21)
+	for c := 0; c < 2000; c++ {
+		if src.Bernoulli(0.3) {
+			e.Inject(flit.Packet{Flow: src.Intn(flows), Length: src.IntRange(1, 4)})
+		}
+		e.Step()
+		if got, want := e.Backlog(), scan(); got != want {
+			t.Fatalf("cycle %d: Backlog = %d, scan = %d", c, got, want)
+		}
+	}
+	if _, drained := e.RunUntilDrained(10_000); !drained {
+		t.Fatal("did not drain")
+	}
+	if got := e.Backlog(); got != 0 {
+		t.Fatalf("Backlog after drain = %d", got)
+	}
+}
+
 // TestMixedInjectAndSource: direct Inject combines with a Source.
 func TestMixedInjectAndSource(t *testing.T) {
 	src := rng.New(9)

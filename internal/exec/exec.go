@@ -1,0 +1,108 @@
+// Package exec is a deterministic worker pool for independent
+// simulation jobs. Every experiment in this repository is a grid of
+// discipline × sweep-point × seed runs that share no mutable state:
+// each run builds its own scheduler, its own traffic source, and its
+// own rng stream from an explicitly derived seed (rng.Derive). That
+// makes the grid embarrassingly parallel — and, because results are
+// collected in submission order, Run's output is bit-identical to
+// executing the same jobs serially, the guarantee the experiments'
+// determinism tests pin.
+//
+// The pool is intentionally minimal: no context plumbing, no
+// cancellation of a job mid-flight (a simulation job is CPU-bound and
+// finishes in bounded time), and a deterministic error contract so
+// that even failures reproduce run to run.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one self-contained unit of work. A Job must own everything
+// it touches — scheduler, source, rng stream — so that running it
+// concurrently with any other Job cannot race. Jobs that share a
+// *rng.Source (or any other mutable state) are a bug in the caller.
+type Job[T any] func() (T, error)
+
+// Workers normalizes a worker-count knob: n <= 0 selects
+// runtime.GOMAXPROCS(0); any other value is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes jobs on up to workers goroutines (Workers(workers) of
+// them) and returns the results in submission order, so the output is
+// independent of the worker count and of goroutine scheduling.
+// workers == 1 runs every job in order on the calling goroutine — the
+// legacy serial path.
+//
+// The error contract is deterministic too: if any jobs fail, Run
+// returns the error of the lowest-indexed failing job, and every job
+// with a smaller index is guaranteed to have executed. Jobs with
+// larger indexes may or may not have run; their results must not be
+// used when Run returns an error.
+func Run[T any](jobs []Job[T], workers int) ([]T, error) {
+	workers = Workers(workers)
+	results := make([]T, len(jobs))
+	if workers == 1 || len(jobs) <= 1 {
+		for i, job := range jobs {
+			r, err := job()
+			if err != nil {
+				return results, fmt.Errorf("exec: job %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	// minFailed is the lowest failing index observed so far; workers
+	// stop claiming jobs beyond it (jobs below it must still run so
+	// the reported error matches serial execution).
+	var minFailed atomic.Int64
+	minFailed.Store(int64(len(jobs)))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(jobs) || int64(i) > minFailed.Load() {
+					return
+				}
+				r, err := jobs[i]()
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := minFailed.Load()
+						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("exec: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

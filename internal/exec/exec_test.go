@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCollectsInSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		jobs := make([]Job[int], 50)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) { return i * i, nil }
+		}
+		got, err := Run(jobs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunOrderSurvivesOutOfOrderCompletion forces job 0 to finish
+// last: its result must still land in slot 0.
+func TestRunOrderSurvivesOutOfOrderCompletion(t *testing.T) {
+	release := make(chan struct{})
+	jobs := []Job[string]{
+		func() (string, error) { <-release; return "first", nil },
+		func() (string, error) { return "second", nil },
+		func() (string, error) { return "third", nil },
+		func() (string, error) { close(release); return "fourth", nil },
+	}
+	got, err := Run(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second", "third", "fourth"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunErrorIsDeterministic pins the error contract: whatever the
+// worker count or scheduling, Run reports the lowest-indexed failure.
+func TestRunErrorIsDeterministic(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 4, 16} {
+		for trial := 0; trial < 20; trial++ {
+			jobs := make([]Job[int], 12)
+			for i := range jobs {
+				i := i
+				jobs[i] = func() (int, error) {
+					if i == 3 || i == 9 {
+						return 0, fmt.Errorf("job %d: %w", i, sentinel)
+					}
+					return i, nil
+				}
+			}
+			_, err := Run(jobs, workers)
+			if err == nil {
+				t.Fatalf("workers=%d: no error", workers)
+			}
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("workers=%d: error %v does not wrap sentinel", workers, err)
+			}
+			if want := "exec: job 3: job 3: boom"; err.Error() != want {
+				t.Fatalf("workers=%d: error %q, want %q", workers, err.Error(), want)
+			}
+		}
+	}
+}
+
+// TestRunSerialStopsAtFirstError: workers == 1 is the legacy serial
+// path — jobs after the first failure must not run.
+func TestRunSerialStopsAtFirstError(t *testing.T) {
+	var ran atomic.Int32
+	jobs := []Job[int]{
+		func() (int, error) { ran.Add(1); return 0, nil },
+		func() (int, error) { ran.Add(1); return 0, errors.New("stop") },
+		func() (int, error) { ran.Add(1); return 0, nil },
+	}
+	if _, err := Run(jobs, 1); err == nil {
+		t.Fatal("no error")
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("ran %d jobs serially, want 2", ran.Load())
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if got, err := Run([]Job[int]{}, 4); err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	got, err := Run([]Job[int]{func() (int, error) { return 42, nil }}, 4)
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single: %v %v", got, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -67,5 +68,59 @@ func TestRunsAreDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Error("changing the seed did not change the workload")
+	}
+}
+
+// TestDeterminismUnderConcurrency runs several seeded experiments as
+// parallel subtests, each rendering the same configuration twice at
+// different worker counts. Under -race this doubles as a data-race
+// sweep of the worker pool; functionally it pins that concurrent
+// experiment runs cannot contaminate each other's results (every
+// simulation owns its RNG state — nothing is package-global).
+func TestDeterminismUnderConcurrency(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("fig6-workers-%d", workers), func(t *testing.T) {
+			t.Parallel()
+			render := func() string {
+				p := smallFig6()
+				p.Cycles = 30_000
+				p.Intervals = 150
+				p.MaxFlows = 3
+				p.Workers = workers
+				res, err := RunFig6(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sb strings.Builder
+				if err := res.Render(&sb); err != nil {
+					t.Fatal(err)
+				}
+				return sb.String()
+			}
+			if render() != render() {
+				t.Errorf("fig6 with Workers=%d rendered differently run to run", workers)
+			}
+		})
+		t.Run(fmt.Sprintf("gap-workers-%d", workers), func(t *testing.T) {
+			t.Parallel()
+			render := func() string {
+				p := DefaultGapParams()
+				p.Cycles = 30_000
+				p.Workers = workers
+				res, err := RunGap(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sb strings.Builder
+				if err := res.Render(&sb); err != nil {
+					t.Fatal(err)
+				}
+				return sb.String()
+			}
+			if render() != render() {
+				t.Errorf("gap with Workers=%d rendered differently run to run", workers)
+			}
+		})
 	}
 }

@@ -97,6 +97,10 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 	if res.Log != nil {
 		ecfg.OnIdle = func(cycle int64) { res.Log.Record(metrics.Idle) }
+		// Without this, a stall model plus WithLog would fall back to
+		// OnIdle and occupancy-without-service cycles would be logged
+		// as idle time, undercounting utilization derived from the log.
+		ecfg.OnStall = func(cycle int64, flow int) { res.Log.Record(metrics.Stalled) }
 	}
 	e, err := engine.NewEngine(ecfg)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -31,6 +32,10 @@ type Fig4Params struct {
 	// DRRQuantum is the quantum used by the DRR comparison; the
 	// classical O(1) provisioning is Max = 128.
 	DRRQuantum int64
+	// Workers caps the worker pool running the per-discipline jobs
+	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
+	// every value: each job owns its workload and rng stream.
+	Workers int
 }
 
 // DefaultFig4Params returns the paper's parameters (4 million
@@ -112,28 +117,42 @@ func RunFig4(p Fig4Params, panel string) (*Fig4Result, error) {
 		return nil, fmt.Errorf("experiments: unknown Figure 4 panel %q", panel)
 	}
 
+	// One job per discipline; every job builds its own workload from
+	// the shared seed, so all disciplines see the identical arrival
+	// sequence whatever the worker count.
+	jobs := make([]exec.Job[[]float64], len(runs))
+	for i, r := range runs {
+		r := r
+		jobs[i] = func() ([]float64, error) {
+			cfg := SimConfig{
+				Flows:  p.Flows,
+				Source: fig4Source(p),
+				Cycles: p.Cycles,
+			}
+			if r.pkt != nil {
+				cfg.Scheduler = r.pkt()
+			} else {
+				cfg.FlitSched = r.flit()
+			}
+			sim, err := RunSim(cfg)
+			if err != nil {
+				return nil, err
+			}
+			kb := make([]float64, p.Flows)
+			for f := 0; f < p.Flows; f++ {
+				kb[f] = sim.Throughput.KBytes(f)
+			}
+			return kb, nil
+		}
+	}
+	kbs, err := exec.Run(jobs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig4Result{Params: p}
-	for _, r := range runs {
-		cfg := SimConfig{
-			Flows:  p.Flows,
-			Source: fig4Source(p),
-			Cycles: p.Cycles,
-		}
-		if r.pkt != nil {
-			cfg.Scheduler = r.pkt()
-		} else {
-			cfg.FlitSched = r.flit()
-		}
-		sim, err := RunSim(cfg)
-		if err != nil {
-			return nil, err
-		}
-		kb := make([]float64, p.Flows)
-		for f := 0; f < p.Flows; f++ {
-			kb[f] = sim.Throughput.KBytes(f)
-		}
+	for i, r := range runs {
 		res.Disciplines = append(res.Disciplines, r.name)
-		res.KBytes = append(res.KBytes, kb)
+		res.KBytes = append(res.KBytes, kbs[i])
 	}
 	return res, nil
 }

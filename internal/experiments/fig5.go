@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -27,6 +28,11 @@ type Fig5Params struct {
 	Intensities []float64
 	// Repeats averages each point over this many seeds.
 	Repeats int
+	// Workers caps the worker pool running the discipline × intensity
+	// × repeat grid (0 = GOMAXPROCS, 1 = serial). The result is
+	// byte-identical for every value: each repeat derives its own seed
+	// with rng.Derive.
+	Workers int
 }
 
 // DefaultFig5Params returns the paper's parameters.
@@ -101,29 +107,60 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
-	res := &Fig5Result{Params: p}
-	for _, m := range mks {
-		delays := make([]float64, len(p.Intensities))
+	// One job per discipline × intensity × repeat. The seed of a
+	// repeat is derived from its repeat label, never from a stream
+	// shared across jobs, so every repeat is reproducible in
+	// isolation. Disciplines AND intensities deliberately share the
+	// per-repeat seed: disciplines must face the identical workload,
+	// and common random numbers across the intensity sweep keep the
+	// delay curves monotone at modest repeat counts (the arrival
+	// pattern is the same draw, only the rate scales).
+	type rep struct {
+		mean float64
+		ok   bool
+	}
+	idx := func(d, i, r int) int { return (d*len(p.Intensities)+i)*repeats + r }
+	jobs := make([]exec.Job[rep], len(mks)*len(p.Intensities)*repeats)
+	for d, m := range mks {
 		for i, intensity := range p.Intensities {
+			for r := 0; r < repeats; r++ {
+				m, i, intensity, r := m, i, intensity, r
+				jobs[idx(d, i, r)] = func() (rep, error) {
+					cfg := SimConfig{
+						Flows:      p.Flows,
+						Source:     fig5Source(p, intensity, rng.Derive(p.Seed, uint64(r))),
+						Cycles:     p.BurstCycles,
+						DrainAfter: true,
+					}
+					if m.pkt != nil {
+						cfg.Scheduler = m.pkt()
+					} else {
+						cfg.FlitSched = m.flit()
+					}
+					sim, err := RunSim(cfg)
+					if err != nil {
+						return rep{}, err
+					}
+					if sim.Delays.Count() == 0 {
+						return rep{}, nil
+					}
+					return rep{mean: sim.Delays.Mean(), ok: true}, nil
+				}
+			}
+		}
+	}
+	reps, err := exec.Run(jobs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Params: p}
+	for d, m := range mks {
+		delays := make([]float64, len(p.Intensities))
+		for i := range p.Intensities {
 			sum, count := 0.0, 0.0
-			for rep := 0; rep < repeats; rep++ {
-				cfg := SimConfig{
-					Flows:      p.Flows,
-					Source:     fig5Source(p, intensity, p.Seed+uint64(rep)*7919),
-					Cycles:     p.BurstCycles,
-					DrainAfter: true,
-				}
-				if m.pkt != nil {
-					cfg.Scheduler = m.pkt()
-				} else {
-					cfg.FlitSched = m.flit()
-				}
-				sim, err := RunSim(cfg)
-				if err != nil {
-					return nil, err
-				}
-				if sim.Delays.Count() > 0 {
-					sum += sim.Delays.Mean()
+			for r := 0; r < repeats; r++ {
+				if v := reps[idx(d, i, r)]; v.ok {
+					sum += v.mean
 					count++
 				}
 			}

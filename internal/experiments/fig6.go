@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -26,6 +27,11 @@ type Fig6Params struct {
 	MaxLen             int
 	Intervals          int
 	Seed               uint64
+	// Workers caps the worker pool running the discipline × flow-count
+	// grid (0 = GOMAXPROCS, 1 = serial). The result is byte-identical
+	// for every value: each point derives its own seed with
+	// rng.Derive.
+	Workers int
 }
 
 // DefaultFig6Params returns the paper's parameters (4 million cycles,
@@ -66,30 +72,43 @@ func RunFig6(p Fig6Params) (*Fig6Result, error) {
 	for n := p.MinFlows; n <= p.MaxFlows; n++ {
 		res.Flows = append(res.Flows, n)
 	}
+	// One job per discipline × flow count. A point's seed is derived
+	// from its flow count only — both disciplines must see the
+	// identical workload — and each job builds its own Source, so jobs
+	// never share a stream.
+	jobs := make([]exec.Job[float64], 0, len(mks)*len(res.Flows))
 	for _, m := range mks {
-		avgs := make([]float64, 0, len(res.Flows))
 		for _, n := range res.Flows {
-			src := rng.New(p.Seed + uint64(n)*104729)
-			var sources []traffic.Source
-			dist := rng.NewTruncExp(p.Lambda, 1, p.MaxLen)
-			for f := 0; f < n; f++ {
-				sources = append(sources, traffic.NewBacklogged(f, 4, dist, src.Split()))
-			}
-			sim, err := RunSim(SimConfig{
-				Flows:     n,
-				Scheduler: m.mk(),
-				Source:    traffic.NewMulti(sources...),
-				Cycles:    p.Cycles,
-				WithLog:   true,
+			m, n := m, n
+			jobs = append(jobs, func() (float64, error) {
+				src := rng.New(rng.Derive(p.Seed, uint64(n)))
+				var sources []traffic.Source
+				dist := rng.NewTruncExp(p.Lambda, 1, p.MaxLen)
+				for f := 0; f < n; f++ {
+					sources = append(sources, traffic.NewBacklogged(f, 4, dist, src.Split()))
+				}
+				sim, err := RunSim(SimConfig{
+					Flows:     n,
+					Scheduler: m.mk(),
+					Source:    traffic.NewMulti(sources...),
+					Cycles:    p.Cycles,
+					WithLog:   true,
+				})
+				if err != nil {
+					return 0, err
+				}
+				avgFlits := sim.Log.AvgFMRandomIntervals(p.Intervals, src.Split())
+				return avgFlits * 8, nil // flits -> bytes, 8-byte flits
 			})
-			if err != nil {
-				return nil, err
-			}
-			avgFlits := sim.Log.AvgFMRandomIntervals(p.Intervals, src.Split())
-			avgs = append(avgs, avgFlits*8) // flits -> bytes, 8-byte flits
 		}
+	}
+	avgs, err := exec.Run(jobs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for d, m := range mks {
 		res.Disciplines = append(res.Disciplines, m.name)
-		res.AvgFM = append(res.AvgFM, avgs)
+		res.AvgFM = append(res.AvgFM, avgs[d*len(res.Flows):(d+1)*len(res.Flows)])
 	}
 	return res, nil
 }

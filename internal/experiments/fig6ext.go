@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -28,6 +29,10 @@ type Fig6ExtParams struct {
 	PLarges   []float64
 	Intervals int
 	Seed      uint64
+	// Workers caps the worker pool running the probability ×
+	// discipline grid (0 = GOMAXPROCS, 1 = serial). The result is
+	// byte-identical for every value.
+	Workers int
 }
 
 // DefaultFig6ExtParams returns defaults.
@@ -54,37 +59,45 @@ type Fig6ExtResult struct {
 
 // RunFig6Ext runs the sweep.
 func RunFig6Ext(p Fig6ExtParams) (*Fig6ExtResult, error) {
-	res := &Fig6ExtResult{Params: p}
+	// Two jobs (ERR, DRR) per probability point; both disciplines of a
+	// point build the identical workload from the shared seed.
+	mks := []func() sched.Scheduler{
+		func() sched.Scheduler { return core.New() },
+		func() sched.Scheduler { return sched.NewDRR(int64(p.Max), nil) },
+	}
+	jobs := make([]exec.Job[float64], 0, 2*len(p.PLarges))
 	for _, pl := range p.PLarges {
 		dist := rng.Bimodal{Short: p.Short, Long: p.Max, PShort: 1 - pl}
-		run := func(mk func() sched.Scheduler) (float64, error) {
-			src := rng.New(p.Seed)
-			sources := make([]traffic.Source, p.Flows)
-			for f := 0; f < p.Flows; f++ {
-				sources[f] = traffic.NewBacklogged(f, 4, dist, src.Split())
-			}
-			sim, err := RunSim(SimConfig{
-				Flows:     p.Flows,
-				Scheduler: mk(),
-				Source:    traffic.NewMulti(sources...),
-				Cycles:    p.Cycles,
-				WithLog:   true,
+		for _, mk := range mks {
+			mk := mk
+			jobs = append(jobs, func() (float64, error) {
+				src := rng.New(p.Seed)
+				sources := make([]traffic.Source, p.Flows)
+				for f := 0; f < p.Flows; f++ {
+					sources[f] = traffic.NewBacklogged(f, 4, dist, src.Split())
+				}
+				sim, err := RunSim(SimConfig{
+					Flows:     p.Flows,
+					Scheduler: mk(),
+					Source:    traffic.NewMulti(sources...),
+					Cycles:    p.Cycles,
+					WithLog:   true,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return sim.Log.AvgFMRandomIntervals(p.Intervals, src.Split()) * 8, nil
 			})
-			if err != nil {
-				return 0, err
-			}
-			return sim.Log.AvgFMRandomIntervals(p.Intervals, src.Split()) * 8, nil
 		}
-		errFM, err := run(func() sched.Scheduler { return core.New() })
-		if err != nil {
-			return nil, err
-		}
-		drrFM, err := run(func() sched.Scheduler { return sched.NewDRR(int64(p.Max), nil) })
-		if err != nil {
-			return nil, err
-		}
-		res.AvgFMERR = append(res.AvgFMERR, errFM)
-		res.AvgFMDRR = append(res.AvgFMDRR, drrFM)
+	}
+	fms, err := exec.Run(jobs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6ExtResult{Params: p}
+	for i := range p.PLarges {
+		res.AvgFMERR = append(res.AvgFMERR, fms[2*i])
+		res.AvgFMDRR = append(res.AvgFMDRR, fms[2*i+1])
 	}
 	return res, nil
 }

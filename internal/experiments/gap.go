@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/traffic"
@@ -24,6 +25,10 @@ type GapParams struct {
 	Flows  int
 	Cycles int64
 	Seed   uint64
+	// Workers caps the worker pool running the per-discipline jobs
+	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
+	// every value.
+	Workers int
 }
 
 // DefaultGapParams returns defaults.
@@ -52,46 +57,63 @@ func RunGap(p GapParams) (*GapResult, error) {
 		{"FCFS", func() sched.Scheduler { return sched.NewFCFS() }},
 		{"WFQ", func() sched.Scheduler { return sched.NewWFQ(nil) }},
 	}
-	res := &GapResult{Params: p}
-	for _, m := range mks {
-		src := rng.New(p.Seed)
-		sources := make([]traffic.Source, p.Flows)
-		for f := 0; f < p.Flows; f++ {
-			sources[f] = traffic.NewBacklogged(f, 4, rng.NewUniform(1, 64), src.Split())
-		}
-		last := make([]int64, p.Flows)
-		worst := make([]int64, p.Flows)
-		for f := range last {
-			last[f] = -1
-		}
-		e, err := engine.NewEngine(engine.Config{
-			Flows:     p.Flows,
-			Scheduler: m.mk(),
-			Source:    traffic.NewMulti(sources...),
-			OnFlit: func(cycle int64, flow int) {
-				if last[flow] >= 0 {
-					if g := cycle - last[flow]; g > worst[flow] {
-						worst[flow] = g
-					}
-				}
-				last[flow] = cycle
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		e.Run(p.Cycles)
-		var max int64
-		var sum float64
-		for _, w := range worst {
-			if w > max {
-				max = w
+	// One job per discipline, each building the identical backlogged
+	// workload from the shared seed.
+	type gaps struct {
+		max  int64
+		mean float64
+	}
+	jobs := make([]exec.Job[gaps], len(mks))
+	for i, m := range mks {
+		m := m
+		jobs[i] = func() (gaps, error) {
+			src := rng.New(p.Seed)
+			sources := make([]traffic.Source, p.Flows)
+			for f := 0; f < p.Flows; f++ {
+				sources[f] = traffic.NewBacklogged(f, 4, rng.NewUniform(1, 64), src.Split())
 			}
-			sum += float64(w)
+			last := make([]int64, p.Flows)
+			worst := make([]int64, p.Flows)
+			for f := range last {
+				last[f] = -1
+			}
+			e, err := engine.NewEngine(engine.Config{
+				Flows:     p.Flows,
+				Scheduler: m.mk(),
+				Source:    traffic.NewMulti(sources...),
+				OnFlit: func(cycle int64, flow int) {
+					if last[flow] >= 0 {
+						if g := cycle - last[flow]; g > worst[flow] {
+							worst[flow] = g
+						}
+					}
+					last[flow] = cycle
+				},
+			})
+			if err != nil {
+				return gaps{}, err
+			}
+			e.Run(p.Cycles)
+			var max int64
+			var sum float64
+			for _, w := range worst {
+				if w > max {
+					max = w
+				}
+				sum += float64(w)
+			}
+			return gaps{max: max, mean: sum / float64(p.Flows)}, nil
 		}
+	}
+	results, err := exec.Run(jobs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &GapResult{Params: p}
+	for i, m := range mks {
 		res.Disciplines = append(res.Disciplines, m.name)
-		res.MaxGap = append(res.MaxGap, max)
-		res.MeanWorst = append(res.MeanWorst, sum/float64(p.Flows))
+		res.MaxGap = append(res.MaxGap, results[i].max)
+		res.MeanWorst = append(res.MeanWorst, results[i].mean)
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/noc"
 	"repro/internal/plot"
 	"repro/internal/rng"
@@ -29,6 +30,10 @@ type NoCSweepParams struct {
 	MinLen     int
 	MaxLen     int
 	Seed       uint64
+	// Workers caps the worker pool running the discipline × rate grid
+	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
+	// every value: each point derives its own seed with rng.Derive.
+	Workers int
 }
 
 // DefaultNoCSweepParams returns defaults for a 4x4 mesh.
@@ -61,33 +66,51 @@ func RunNoCSweep(p NoCSweepParams) (*NoCSweepResult, error) {
 		{"ERR", func() sched.Scheduler { return core.New() }},
 		{"PBRR", func() sched.Scheduler { return sched.NewPBRR() }},
 	}
-	res := &NoCSweepResult{Params: p}
+	// One job per discipline × injection rate; a point's seed depends
+	// only on the rate index so both arbiters face the same traffic.
+	type point struct {
+		lat, del float64
+	}
+	jobs := make([]exec.Job[point], 0, len(mks)*len(p.Rates))
 	for _, m := range mks {
+		for i, rate := range p.Rates {
+			m, i, rate := m, i, rate
+			jobs = append(jobs, func() (point, error) {
+				mesh, err := noc.NewMesh(noc.Config{
+					K: p.K, VCs: p.VCs, BufFlits: p.BufFlits,
+					Torus: p.Torus, NewArb: m.mk,
+				})
+				if err != nil {
+					return point{}, err
+				}
+				src := rng.New(rng.Derive(p.Seed, uint64(i)))
+				inj := noc.NewInjector(mesh, rate, noc.Uniform{Nodes: mesh.Nodes()},
+					rng.NewUniform(p.MinLen, p.MaxLen), src)
+				inj.MaxPending = 4
+				for c := int64(0); c < p.WarmCycles; c++ {
+					inj.Step()
+					mesh.Step()
+				}
+				mesh.Drain(20 * p.WarmCycles)
+				var d int64
+				for n := 0; n < mesh.Nodes(); n++ {
+					d += mesh.DeliveredPackets[n]
+				}
+				return point{lat: mesh.Latency.Mean(), del: float64(d)}, nil
+			})
+		}
+	}
+	points, err := exec.Run(jobs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &NoCSweepResult{Params: p}
+	for d, m := range mks {
 		lats := make([]float64, len(p.Rates))
 		dels := make([]float64, len(p.Rates))
-		for i, rate := range p.Rates {
-			mesh, err := noc.NewMesh(noc.Config{
-				K: p.K, VCs: p.VCs, BufFlits: p.BufFlits,
-				Torus: p.Torus, NewArb: m.mk,
-			})
-			if err != nil {
-				return nil, err
-			}
-			src := rng.New(p.Seed + uint64(i)*7)
-			inj := noc.NewInjector(mesh, rate, noc.Uniform{Nodes: mesh.Nodes()},
-				rng.NewUniform(p.MinLen, p.MaxLen), src)
-			inj.MaxPending = 4
-			for c := int64(0); c < p.WarmCycles; c++ {
-				inj.Step()
-				mesh.Step()
-			}
-			mesh.Drain(20 * p.WarmCycles)
-			lats[i] = mesh.Latency.Mean()
-			var d int64
-			for n := 0; n < mesh.Nodes(); n++ {
-				d += mesh.DeliveredPackets[n]
-			}
-			dels[i] = float64(d)
+		for i := range p.Rates {
+			pt := points[d*len(p.Rates)+i]
+			lats[i], dels[i] = pt.lat, pt.del
 		}
 		res.Disciplines = append(res.Disciplines, m.name)
 		res.Latency = append(res.Latency, lats)

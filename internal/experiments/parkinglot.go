@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/sched"
 	"repro/internal/wormhole"
@@ -28,6 +29,10 @@ type ParkingLotParams struct {
 	Cycles int64
 	// PacketLen is the fixed packet length in flits.
 	PacketLen int
+	// Workers caps the worker pool running the two arbitration
+	// variants (0 = GOMAXPROCS, 1 = serial). The result is
+	// byte-identical for every value.
+	Workers int
 }
 
 // DefaultParkingLotParams returns defaults.
@@ -122,15 +127,16 @@ func RunParkingLot(p ParkingLotParams) (*ParkingLotResult, error) {
 		}
 		return shares, nil
 	}
-	plain, err := run(false)
+	// The two arbitration variants are independent chains — run them
+	// as two jobs.
+	shares, err := exec.Run([]exec.Job[[]float64]{
+		func() ([]float64, error) { return run(false) },
+		func() ([]float64, error) { return run(true) },
+	}, p.Workers)
 	if err != nil {
 		return nil, err
 	}
-	weighted, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return &ParkingLotResult{Params: p, ShareERR: plain, ShareWERR: weighted}, nil
+	return &ParkingLotResult{Params: p, ShareERR: shares[0], ShareWERR: shares[1]}, nil
 }
 
 // Render writes the share table.

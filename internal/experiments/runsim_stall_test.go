@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/traffic"
+)
+
+// TestRunSimLogsStalls pins the fairness-log fix: with a stall model
+// and WithLog set, occupancy-without-service cycles must be recorded
+// as metrics.Stalled, not silently logged as idle time. Before the
+// fix the engine fell back to OnIdle for those cycles, so utilization
+// derived from the log undercounted busy time.
+func TestRunSimLogsStalls(t *testing.T) {
+	src := rng.New(7)
+	sources := make([]traffic.Source, 2)
+	for f := range sources {
+		sources[f] = traffic.NewBacklogged(f, 4, rng.NewUniform(4, 8), src.Split())
+	}
+	res, err := RunSim(SimConfig{
+		Flows:     2,
+		Scheduler: core.New(),
+		Source:    traffic.NewMulti(sources...),
+		Cycles:    2_000,
+		WithLog:   true,
+		// One stall cycle before every flit: exactly half the busy
+		// cycles are occupancy without service.
+		Stall: engine.StallFunc(func(flow int) int { return 1 }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled := res.Log.StalledCycles()
+	if stalled == 0 {
+		t.Fatal("stall model ran but the service log recorded no stalled cycles")
+	}
+	if idle := res.Log.IdleCycles(); idle > 2 {
+		t.Errorf("backlogged run logged %d idle cycles; stalls are leaking into idle", idle)
+	}
+	// With one stall cycle per flit, stalled cycles should be about
+	// half the log; well away from both 0 and the whole run.
+	if c := res.Log.Cycles(); stalled < c/4 || stalled > 3*c/4 {
+		t.Errorf("stalled %d of %d cycles, want roughly half", stalled, c)
+	}
+	// Stalled cycles count as busy: utilization must reflect the full
+	// occupancy, not just the forwarded flits.
+	if u := res.Log.Utilization(); u < 0.99 {
+		t.Errorf("utilization %.3f, want ~1.0 with stalls counted as busy", u)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -19,6 +20,10 @@ import (
 // after the warm-up transient, as the max over all sub-intervals.
 type Table1Params struct {
 	Fig4 Fig4Params
+	// Workers caps the worker pool running the per-discipline jobs
+	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
+	// every value.
+	Workers int
 }
 
 // DefaultTable1Params returns paper-scale parameters.
@@ -76,45 +81,62 @@ func RunTable1(p Table1Params) (*Table1Result, error) {
 			pkt:     func() sched.Scheduler { return core.New() },
 			boundFn: func(m, max int64) int64 { return 3 * m }},
 	}
+	// One job per discipline, all on the identical workload; the
+	// measured FM and the largest arrived packet reduce in submission
+	// order afterwards (m is a max, so it is order-independent anyway).
+	type disc struct {
+		fm     int64
+		maxLen int64
+	}
+	jobs := make([]exec.Job[disc], len(mks))
+	for i, m := range mks {
+		m := m
+		jobs[i] = func() (disc, error) {
+			ft := metrics.NewFairnessTracker(p.Fig4.Flows)
+			var maxLen int64
+			window := p.Fig4.Cycles / 2
+			cfg := engine.Config{
+				Flows:  p.Fig4.Flows,
+				Source: fig4Source(p.Fig4),
+				OnFlit: func(cycle int64, flow int) {
+					if cycle >= window {
+						ft.Serve(flow, 1)
+					}
+				},
+				OnDeparture: func(pk flit.Packet, cycle, occ int64) {
+					if int64(pk.Length) > maxLen {
+						maxLen = int64(pk.Length)
+					}
+				},
+			}
+			if m.pkt != nil {
+				cfg.Scheduler = m.pkt()
+			} else {
+				cfg.FlitSched = m.flit()
+			}
+			e, err := engine.NewEngine(cfg)
+			if err != nil {
+				return disc{}, err
+			}
+			e.Run(p.Fig4.Cycles)
+			return disc{fm: ft.FM(), maxLen: maxLen}, nil
+		}
+	}
+	discs, err := exec.Run(jobs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
 	res := &Table1Result{Params: p, Max: 128}
-	for _, m := range mks {
-		ft := metrics.NewFairnessTracker(p.Fig4.Flows)
-		var maxLen int64
-		window := p.Fig4.Cycles / 2
-		cfg := engine.Config{
-			Flows:  p.Fig4.Flows,
-			Source: fig4Source(p.Fig4),
-			OnFlit: func(cycle int64, flow int) {
-				if cycle >= window {
-					ft.Serve(flow, 1)
-				}
-			},
-			OnDeparture: func(pk flit.Packet, cycle, occ int64) {
-				if int64(pk.Length) > maxLen {
-					maxLen = int64(pk.Length)
-				}
-			},
+	for i, m := range mks {
+		if discs[i].maxLen > res.M {
+			res.M = discs[i].maxLen
 		}
-		if m.pkt != nil {
-			cfg.Scheduler = m.pkt()
-		} else {
-			cfg.FlitSched = m.flit()
-		}
-		e, err := engine.NewEngine(cfg)
-		if err != nil {
-			return nil, err
-		}
-		e.Run(p.Fig4.Cycles)
-		if maxLen > res.M {
-			res.M = maxLen
-		}
-		row := Table1Row{
+		res.Rows = append(res.Rows, Table1Row{
 			Discipline:    m.name,
 			FairnessBound: m.bound,
-			MeasuredFM:    ft.FM(),
+			MeasuredFM:    discs[i].fm,
 			Complexity:    m.complexity,
-		}
-		res.Rows = append(res.Rows, row)
+		})
 	}
 	// Evaluate the numeric bounds with the workload's final m.
 	for i, m := range mks {

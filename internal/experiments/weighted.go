@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/rng"
 	"repro/internal/traffic"
 )
@@ -22,6 +23,11 @@ type WeightedParams struct {
 	Cycles  int64
 	Weights []int64
 	Seed    uint64
+	// Workers caps the worker pool (0 = GOMAXPROCS, 1 = serial). The
+	// experiment is a single simulation, so the knob only exists for
+	// uniformity with the other runners; the result never depends on
+	// it.
+	Workers int
 }
 
 // DefaultWeightedParams returns defaults.
@@ -48,21 +54,24 @@ func RunWeighted(p WeightedParams) (*WeightedResult, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("experiments: weighted run needs >= 2 classes")
 	}
-	e := core.NewWeighted(func(f int) int64 { return p.Weights[f] })
-	src := rng.New(p.Seed)
-	sources := make([]traffic.Source, n)
-	for f := 0; f < n; f++ {
-		sources[f] = traffic.NewBacklogged(f, 4, rng.NewUniform(1, 32), src.Split())
-	}
-	sim, err := RunSim(SimConfig{
-		Flows:     n,
-		Scheduler: e,
-		Source:    traffic.NewMulti(sources...),
-		Cycles:    p.Cycles,
-	})
+	sims, err := exec.Run([]exec.Job[*SimResult]{func() (*SimResult, error) {
+		e := core.NewWeighted(func(f int) int64 { return p.Weights[f] })
+		src := rng.New(p.Seed)
+		sources := make([]traffic.Source, n)
+		for f := 0; f < n; f++ {
+			sources[f] = traffic.NewBacklogged(f, 4, rng.NewUniform(1, 32), src.Split())
+		}
+		return RunSim(SimConfig{
+			Flows:     n,
+			Scheduler: e,
+			Source:    traffic.NewMulti(sources...),
+			Cycles:    p.Cycles,
+		})
+	}}, p.Workers)
 	if err != nil {
 		return nil, err
 	}
+	sim := sims[0]
 	res := &WeightedResult{Params: p}
 	var total, wsum int64
 	for f := 0; f < n; f++ {

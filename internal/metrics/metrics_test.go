@@ -179,8 +179,41 @@ func TestServiceLogPanics(t *testing.T) {
 	l.Record(7)
 }
 
+func TestServiceLogStalledAndUtilization(t *testing.T) {
+	l := NewServiceLog(2, 4)
+	// 4 served (2 per flow), 2 stalled, 2 idle.
+	for _, f := range []int{0, Stalled, 1, Idle, 0, Stalled, 1, Idle} {
+		l.Record(f)
+	}
+	if l.Cycles() != 8 {
+		t.Fatalf("Cycles = %d", l.Cycles())
+	}
+	if l.IdleCycles() != 2 || l.StalledCycles() != 2 {
+		t.Fatalf("idle %d stalled %d, want 2 2", l.IdleCycles(), l.StalledCycles())
+	}
+	// Stalled cycles are busy: utilization counts everything but idle.
+	if got := l.Utilization(); got != 6.0/8.0 {
+		t.Errorf("Utilization = %v, want 0.75", got)
+	}
+	// Stalled markers must not count as service for any flow.
+	if l.Total(0) != 2 || l.Total(1) != 2 {
+		t.Fatalf("totals %d %d, want 2 2", l.Total(0), l.Total(1))
+	}
+	if got := l.Sent(0, 0, 8); got != 2 {
+		t.Errorf("Sent(0) = %d, want 2", got)
+	}
+	if got := l.FM(0, 8); got != 0 {
+		t.Errorf("FM = %d, want 0", got)
+	}
+	if (&ServiceLog{}).Utilization() != 0 {
+		t.Error("empty log utilization not 0")
+	}
+}
+
 func TestNewServiceLogValidation(t *testing.T) {
-	for _, n := range []int{0, 256, -3} {
+	// 255 is now rejected too: 0xFE and 0xFF are reserved for the
+	// Stalled and Idle markers.
+	for _, n := range []int{0, 255, 256, -3} {
 		func() {
 			defer func() {
 				if recover() == nil {

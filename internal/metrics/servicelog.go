@@ -17,16 +17,27 @@ type ServiceLog struct {
 	// checkpoints[k][f] = flits served to flow f in cycles [0, k*stride).
 	checkpoints [][]int64
 	totals      []int64
+	idle        int64
+	stalled     int64
 }
 
-// Idle marks a cycle in which no flit was forwarded.
+// Idle marks a cycle in which no flit was forwarded and no packet
+// occupied the output.
 const Idle = 0xFF
 
-// NewServiceLog returns a log for n flows (n <= 255) with the given
-// checkpoint stride (0 means a sensible default).
+// Stalled marks a cycle in which a packet occupied the output but
+// downstream congestion blocked its flit — occupancy without service,
+// the wormhole phenomenon. Stalled cycles count as busy time in
+// Utilization; recording them as Idle (the historical behaviour)
+// undercounts how long the output was actually held.
+const Stalled = 0xFE
+
+// NewServiceLog returns a log for n flows (n <= 254; 0xFE and 0xFF
+// are the Stalled and Idle markers) with the given checkpoint stride
+// (0 means a sensible default).
 func NewServiceLog(n, stride int) *ServiceLog {
-	if n < 1 || n > 255 {
-		panic("metrics: ServiceLog supports 1..255 flows")
+	if n < 1 || n > 254 {
+		panic("metrics: ServiceLog supports 1..254 flows")
 	}
 	if stride <= 0 {
 		stride = 4096
@@ -39,10 +50,14 @@ func NewServiceLog(n, stride int) *ServiceLog {
 	}
 }
 
-// Record appends one cycle: the flow served (or Idle).
+// Record appends one cycle: the flow served, Idle, or Stalled.
 func (l *ServiceLog) Record(flow int) {
 	if flow == Idle {
 		l.seq = append(l.seq, Idle)
+		l.idle++
+	} else if flow == Stalled {
+		l.seq = append(l.seq, Stalled)
+		l.stalled++
 	} else {
 		if flow < 0 || flow >= l.n {
 			panic("metrics: ServiceLog flow out of range")
@@ -63,6 +78,25 @@ func (l *ServiceLog) Cycles() int64 { return int64(len(l.seq)) }
 // Total returns the cumulative flits served to flow over the whole
 // log.
 func (l *ServiceLog) Total(flow int) int64 { return l.totals[flow] }
+
+// IdleCycles returns the number of recorded cycles in which the
+// output was neither forwarding nor occupied.
+func (l *ServiceLog) IdleCycles() int64 { return l.idle }
+
+// StalledCycles returns the number of recorded cycles in which the
+// output was occupied by a packet but blocked by downstream
+// congestion.
+func (l *ServiceLog) StalledCycles() int64 { return l.stalled }
+
+// Utilization returns the fraction of recorded cycles in which the
+// output was busy — forwarding a flit or occupied by a stalled
+// packet. It is 0 for an empty log.
+func (l *ServiceLog) Utilization() float64 {
+	if len(l.seq) == 0 {
+		return 0
+	}
+	return float64(int64(len(l.seq))-l.idle) / float64(len(l.seq))
+}
 
 // CumServed returns the flits served to flow in cycles [0, t).
 func (l *ServiceLog) CumServed(flow int, t int64) int64 {
@@ -121,8 +155,10 @@ func (l *ServiceLog) AvgFMRandomIntervals(k int, src *rng.Source) float64 {
 	for i := 0; i < k; i++ {
 		var a, b int64
 		for a == b {
-			a = int64(src.Intn(int(cycles)))
-			b = int64(src.Intn(int(cycles)))
+			// Int63n, not Intn: beyond-2^31-cycle runs would truncate
+			// or overflow int on 32-bit platforms.
+			a = src.Int63n(cycles)
+			b = src.Int63n(cycles)
 		}
 		if a > b {
 			a, b = b, a

@@ -35,6 +35,25 @@ func (s *Source) Split() *Source {
 	return &Source{state: s.Uint64()*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3}
 }
 
+// Derive mixes a base seed with a sequence of labels (sweep-point
+// index, repeat number, ...) into an independent seed. It is the
+// explicit per-job seed derivation used by the parallel experiment
+// runners: every job builds its own Source from
+// Derive(seed, labels...), so jobs never share a stream and the
+// result of a sweep is independent of worker count and execution
+// order. Additive schemes (seed + k*prime) can collide across label
+// dimensions; Derive runs every label through the SplitMix64
+// finalizer, so distinct label tuples yield decorrelated seeds.
+func Derive(base uint64, labels ...uint64) uint64 {
+	s := Source{state: base}
+	out := s.Uint64()
+	for _, l := range labels {
+		s.state = out ^ (l + 0x9e3779b97f4a7c15)
+		out = s.Uint64()
+	}
+	return out
+}
+
 // Uint64 returns the next 64 pseudo-random bits (SplitMix64).
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15
@@ -50,12 +69,24 @@ func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with n <= 0")
 	}
+	return int(s.Int63n(int64(n)))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+// Unlike Intn it is safe for bounds beyond 2^31 on every platform —
+// the draw the 4-million-cycle (and longer) service-log interval
+// sampling needs. Intn(n) and Int63n(int64(n)) consume the stream
+// identically, so switching between them never perturbs a seeded run.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with n <= 0")
+	}
 	bound := uint64(n)
 	threshold := (-bound) % bound
 	for {
 		hi, lo := bits.Mul64(s.Uint64(), bound)
 		if lo >= threshold {
-			return int(hi)
+			return int64(hi)
 		}
 	}
 }

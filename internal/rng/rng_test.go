@@ -71,6 +71,97 @@ func TestIntnPanics(t *testing.T) {
 	}
 }
 
+func TestInt63nBounds(t *testing.T) {
+	s := New(3)
+	// Bounds beyond 2^32 exercise the 64-bit path Intn(int) cannot
+	// reach on 32-bit platforms.
+	for _, n := range []int64{1, 2, 17, 1 << 20, 1 << 33, 1<<62 + 12345} {
+		for i := 0; i < 200; i++ {
+			v := s.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestInt63nMatchesIntn(t *testing.T) {
+	// The contract documented on Int63n: Intn(n) and Int63n(int64(n))
+	// draw identically from the stream, so log-sampling code can move
+	// between them without perturbing seeded runs.
+	a, b := New(99), New(99)
+	for i := 0; i < 5000; i++ {
+		n := 1 + i%4_000_000
+		if x, y := a.Intn(n), b.Int63n(int64(n)); int64(x) != y {
+			t.Fatalf("Intn(%d) = %d but Int63n = %d at step %d", n, x, y, i)
+		}
+	}
+}
+
+func TestInt63nPanics(t *testing.T) {
+	s := New(1)
+	for _, n := range []int64{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Int63n(%d) did not panic", n)
+				}
+			}()
+			s.Int63n(n)
+		}()
+	}
+}
+
+func TestInt63nLargeBoundSpread(t *testing.T) {
+	// Draws over a > 2^31 bound must actually cover the high range —
+	// the 32-bit truncation bug this method replaces would fold
+	// everything into the low 2^31.
+	s := New(7)
+	const bound = int64(1) << 40
+	high := 0
+	for i := 0; i < 10000; i++ {
+		if s.Int63n(bound) >= bound/2 {
+			high++
+		}
+	}
+	if high < 4500 || high > 5500 {
+		t.Errorf("high-half draws %d/10000, want ~5000", high)
+	}
+}
+
+func TestDerive(t *testing.T) {
+	// Deterministic.
+	if Derive(1, 2, 3) != Derive(1, 2, 3) {
+		t.Error("Derive not deterministic")
+	}
+	// Labels matter, including their order and arity.
+	seen := map[uint64][]uint64{}
+	cases := [][]uint64{{}, {0}, {1}, {2}, {0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2, 3}, {3, 2, 1}}
+	for _, labels := range cases {
+		d := Derive(42, labels...)
+		if prev, dup := seen[d]; dup {
+			t.Errorf("Derive(42, %v) == Derive(42, %v)", labels, prev)
+		}
+		seen[d] = labels
+	}
+	// Different bases diverge even with equal labels.
+	if Derive(1, 5) == Derive(2, 5) {
+		t.Error("Derive ignores the base seed")
+	}
+	// Derived streams are decorrelated enough to use directly.
+	a := New(Derive(9, 0))
+	b := New(Derive(9, 1))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical outputs from sibling derived seeds", same)
+	}
+}
+
 func TestIntnUniformity(t *testing.T) {
 	s := New(11)
 	const n = 10
