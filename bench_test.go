@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/min"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/traffic"
@@ -272,9 +273,12 @@ func BenchmarkWorkComplexityPBRR(b *testing.B) {
 
 // --- substrate throughput ---
 
-func BenchmarkEngineCycleERR(b *testing.B) {
+// benchERRConfig is the shared workload of the engine-cycle
+// benchmarks: 8 permanently backlogged flows under ERR, so every
+// cycle forwards a flit — the worst case for per-cycle observer cost.
+func benchERRConfig() engine.Config {
 	src := rng.New(3)
-	e, err := engine.NewEngine(engine.Config{
+	return engine.Config{
 		Flows:     8,
 		Scheduler: core.New(),
 		Source: traffic.NewMulti(
@@ -287,10 +291,31 @@ func BenchmarkEngineCycleERR(b *testing.B) {
 			traffic.NewBacklogged(6, 4, rng.NewUniform(1, 64), src.Split()),
 			traffic.NewBacklogged(7, 4, rng.NewUniform(1, 64), src.Split()),
 		),
-	})
+	}
+}
+
+func BenchmarkEngineCycleERR(b *testing.B) {
+	e, err := engine.NewEngine(benchERRConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(int64(b.N))
+}
+
+// BenchmarkEngineCycleERRCollector is BenchmarkEngineCycleERR with an
+// obs.Collector wired onto the engine callbacks. The delta between the
+// two is the telemetry layer's per-cycle overhead; BENCH_obs.json
+// records it, and the acceptance bar is < 5%.
+func BenchmarkEngineCycleERRCollector(b *testing.B) {
+	cfg := benchERRConfig()
+	obs.NewCollector(obs.NewRegistry(), cfg.Flows).Wire(&cfg)
+	e, err := engine.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run(int64(b.N))
 }

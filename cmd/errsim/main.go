@@ -9,6 +9,11 @@
 // Paper-scale parameters are the defaults; -cycles scales the main
 // run length down for quick looks. Output is an ASCII rendering of
 // the table/figure followed by a CSV block for external plotting.
+// -progress renders a live jobs-completed line on stderr, -manifest
+// appends a JSONL run manifest (schema, command line, seeds, workers,
+// cycles, wall time, throughput) to the given path, and -pprof serves
+// net/http/pprof plus an expvar snapshot of the obs registry for
+// profiling long sweeps live.
 package main
 
 import (
@@ -18,8 +23,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // renderer is the common shape of every experiment result.
@@ -47,29 +55,68 @@ func main() {
 		repeats   = flag.Int("repeats", 0, "fig5: seeds to average each point over (0 = default 5)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent simulation jobs (1 = serial; output is identical for any value)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of ASCII/CSV")
+		progress  = flag.Bool("progress", false, "render a jobs-completed progress line on stderr")
+		quiet     = flag.Bool("quiet", false, "suppress the progress line (overrides -progress)")
+		manifest  = flag.String("manifest", "", "append a JSONL run manifest to this path (\"\" = no manifest)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the obs registry expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, *jsonOut); err != nil {
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errsim: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "errsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
+	}
+	var prog exec.Progress
+	if *progress && !*quiet {
+		prog = obs.NewProgress(os.Stderr, *exp)
+	}
+	// A collector is only worth its (small) per-cycle cost when
+	// something consumes the registry: the manifest snapshot or the
+	// expvar endpoint. Sized to the engine's flow-id ceiling so one
+	// collector serves every grid job regardless of flow count.
+	var col *obs.Collector
+	if *manifest != "" || *pprofAddr != "" {
+		col = obs.NewCollector(obs.Default(), 254)
+	}
+	start := time.Now()
+	res, err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, prog, col)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
 		os.Exit(1)
 	}
+	wall := time.Since(start)
+	if err := emit(os.Stdout, res, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *manifest != "" {
+		info := obs.RunInfo{Experiment: *exp, Workers: exec.Workers(*parallel)}
+		if mi, ok := res.(interface{ RunInfo() obs.RunInfo }); ok {
+			info = mi.RunInfo()
+		}
+		m := obs.NewManifest(info, "", wall).WithMetrics(obs.Default())
+		if err := m.AppendTo(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "errsim: manifest: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, asJSON bool) error {
-	out := os.Stdout
+func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, prog exec.Progress, col *obs.Collector) (renderer, error) {
 	switch exp {
 	case "table1":
 		p := experiments.DefaultTable1Params()
 		p.Fig4.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
+		p.Fig4.Collector = col
 		if cycles > 0 {
 			p.Fig4.Cycles = cycles
 		}
-		res, err := experiments.RunTable1(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunTable1(p)
 
 	case "fig4", "fig4a", "fig4b", "fig4c", "fig4d":
 		panel := "all"
@@ -79,14 +126,12 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p := experiments.DefaultFig4Params()
 		p.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
+		p.Collector = col
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
-		res, err := experiments.RunFig4(p, panel)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunFig4(p, panel)
 
 	case "fig5", "fig5a", "fig5b":
 		panel := "all"
@@ -96,49 +141,43 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p := experiments.DefaultFig5Params()
 		p.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
+		p.Collector = col
 		if cycles > 0 {
 			p.BurstCycles = cycles
 		}
 		if repeats > 0 {
 			p.Repeats = repeats
 		}
-		res, err := experiments.RunFig5(p, panel)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunFig5(p, panel)
 
 	case "fig6":
 		p := experiments.DefaultFig6Params()
 		p.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
+		p.Collector = col
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
 		if intervals > 0 {
 			p.Intervals = intervals
 		}
-		res, err := experiments.RunFig6(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunFig6(p)
 
 	case "fig6ext":
 		p := experiments.DefaultFig6ExtParams()
 		p.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
+		p.Collector = col
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
 		if intervals > 0 {
 			p.Intervals = intervals
 		}
-		res, err := experiments.RunFig6Ext(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunFig6Ext(p)
 
 	case "occupancy":
 		p := experiments.DefaultAblationOccupancyParams()
@@ -146,11 +185,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
-		res, err := experiments.RunAblationOccupancy(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunAblationOccupancy(p)
 
 	case "screset":
 		p := experiments.DefaultAblationSurplusResetParams()
@@ -158,63 +193,48 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
-		res, err := experiments.RunAblationSurplusReset(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunAblationSurplusReset(p)
 
 	case "weighted":
 		p := experiments.DefaultWeightedParams()
 		p.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
+		p.Collector = col
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
-		res, err := experiments.RunWeighted(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunWeighted(p)
 
 	case "gap":
 		p := experiments.DefaultGapParams()
 		p.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
-		res, err := experiments.RunGap(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunGap(p)
 
 	case "nocsweep", "nocsweep-torus":
 		p := experiments.DefaultNoCSweepParams()
 		p.Seed = seed
 		p.Workers = parallel
+		p.Progress = prog
 		p.Torus = exp == "nocsweep-torus"
 		if cycles > 0 {
 			p.WarmCycles = cycles
 		}
-		res, err := experiments.RunNoCSweep(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunNoCSweep(p)
 
 	case "parkinglot":
 		p := experiments.DefaultParkingLotParams()
 		p.Workers = parallel
+		p.Progress = prog
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
-		res, err := experiments.RunParkingLot(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunParkingLot(p)
 
 	case "lr":
 		p := experiments.DefaultLRParams()
@@ -222,13 +242,9 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
-		res, err := experiments.RunLR(p)
-		if err != nil {
-			return err
-		}
-		return emit(out, res, asJSON)
+		return experiments.RunLR(p)
 
 	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+		return nil, fmt.Errorf("unknown experiment %q", exp)
 	}
 }

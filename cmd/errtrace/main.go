@@ -28,6 +28,23 @@ func main() {
 	)
 	flag.Parse()
 
+	if *random {
+		// Validate up front: an out-of-range flow count would panic
+		// deep inside the harness (metrics and the service log cap
+		// flow ids at 254), and a non-positive length would hang the
+		// length distribution.
+		if *flows < 1 || *flows > 254 {
+			fmt.Fprintf(os.Stderr, "errtrace: -flows must be in 1..254 (got %d)\n", *flows)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *maxLen < 1 {
+			fmt.Fprintf(os.Stderr, "errtrace: -maxlen must be >= 1 (got %d)\n", *maxLen)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
 	e := core.New()
 	rec := &core.TraceRecorder{}
 	e.SetTrace(rec)

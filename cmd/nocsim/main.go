@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -31,8 +32,17 @@ func main() {
 		cycles  = flag.Int64("cycles", 100_000, "warm simulation cycles before draining")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		torus   = flag.Bool("torus", false, "wraparound links with dateline VC switching")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof and the obs registry expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprofA != "" {
+		addr, err := obs.ServeDebug(*pprofA, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocsim: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nocsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
+	}
 	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsim: %v\n", err)
 		os.Exit(1)

@@ -5,6 +5,13 @@
 // reproduction; the default is paper scale.
 //
 //	go run ./cmd/reproduce -out results [-quick]
+//
+// Next to each artifact a run manifest is appended as one JSON line
+// (<artifact>.manifest.jsonl) recording the schema version, command
+// line, seeds, worker count, simulated cycles, wall time, and
+// throughput, so any results file can be traced to the run that
+// produced it; -manifest=false disables this. -progress renders a
+// live jobs-completed line per artifact on stderr (-quiet overrides).
 package main
 
 import (
@@ -17,9 +24,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/flit"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // renderer is the common shape of experiment results.
@@ -33,15 +42,18 @@ func main() {
 		quick    = flag.Bool("quick", false, "scale run lengths down ~10x")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent simulation jobs (1 = serial; artifacts are identical for any value)")
+		progress = flag.Bool("progress", false, "render a jobs-completed progress line per artifact on stderr")
+		quiet    = flag.Bool("quiet", false, "suppress the progress line (overrides -progress)")
+		manifest = flag.Bool("manifest", true, "append a JSONL run manifest next to each artifact")
 	)
 	flag.Parse()
-	if err := run(*out, *quick, *seed, *parallel); err != nil {
+	if err := run(*out, *quick, *seed, *parallel, *progress && !*quiet, *manifest); err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, quick bool, seed uint64, parallel int) error {
+func run(outDir string, quick bool, seed uint64, parallel int, progress, manifest bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -54,103 +66,118 @@ func run(outDir string, quick bool, seed uint64, parallel int) error {
 
 	steps := []struct {
 		file string
-		gen  func() (renderer, error)
+		gen  func(prog exec.Progress) (renderer, error)
 	}{
-		{"fig3.txt", func() (renderer, error) { return fig3Trace(), nil }},
-		{"table1.txt", func() (renderer, error) {
+		{"fig3.txt", func(exec.Progress) (renderer, error) { return fig3Trace(), nil }},
+		{"table1.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultTable1Params()
 			p.Fig4.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			p.Fig4.Cycles = scale(p.Fig4.Cycles)
 			return experiments.RunTable1(p)
 		}},
-		{"fig4.txt", func() (renderer, error) {
+		{"fig4.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultFig4Params()
 			p.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunFig4(p, "all")
 		}},
-		{"fig5.txt", func() (renderer, error) {
+		{"fig5.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultFig5Params()
 			p.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			if quick {
 				p.Repeats = 2
 			}
 			return experiments.RunFig5(p, "all")
 		}},
-		{"fig6.txt", func() (renderer, error) {
+		{"fig6.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultFig6Params()
 			p.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			p.Cycles = scale(p.Cycles)
 			if quick {
 				p.Intervals = 2000
 			}
 			return experiments.RunFig6(p)
 		}},
-		{"fig6ext.txt", func() (renderer, error) {
+		{"fig6ext.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultFig6ExtParams()
 			p.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunFig6Ext(p)
 		}},
-		{"occupancy.txt", func() (renderer, error) {
+		{"occupancy.txt", func(exec.Progress) (renderer, error) {
 			p := experiments.DefaultAblationOccupancyParams()
 			p.Seed = seed
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunAblationOccupancy(p)
 		}},
-		{"screset.txt", func() (renderer, error) {
+		{"screset.txt", func(exec.Progress) (renderer, error) {
 			p := experiments.DefaultAblationSurplusResetParams()
 			p.Seed = seed
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunAblationSurplusReset(p)
 		}},
-		{"weighted.txt", func() (renderer, error) {
+		{"weighted.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultWeightedParams()
 			p.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunWeighted(p)
 		}},
-		{"gap.txt", func() (renderer, error) {
+		{"gap.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultGapParams()
 			p.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunGap(p)
 		}},
-		{"lr.txt", func() (renderer, error) {
+		{"lr.txt", func(exec.Progress) (renderer, error) {
 			p := experiments.DefaultLRParams()
 			p.Seed = seed
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunLR(p)
 		}},
-		{"parkinglot.txt", func() (renderer, error) {
+		{"parkinglot.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultParkingLotParams()
 			p.Workers = parallel
+			p.Progress = prog
 			p.Cycles = scale(p.Cycles)
 			return experiments.RunParkingLot(p)
 		}},
-		{"nocsweep.txt", func() (renderer, error) {
+		{"nocsweep.txt", func(prog exec.Progress) (renderer, error) {
 			p := experiments.DefaultNoCSweepParams()
 			p.Seed = seed
 			p.Workers = parallel
+			p.Progress = prog
 			p.WarmCycles = scale(p.WarmCycles)
 			return experiments.RunNoCSweep(p)
 		}},
 	}
 
 	for _, s := range steps {
+		var prog exec.Progress
+		if progress {
+			prog = obs.NewProgress(os.Stderr, s.file)
+		}
 		start := time.Now()
-		res, err := s.gen()
+		res, err := s.gen(prog)
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.file, err)
 		}
-		f, err := os.Create(filepath.Join(outDir, s.file))
+		wall := time.Since(start)
+		artifact := filepath.Join(outDir, s.file)
+		f, err := os.Create(artifact)
 		if err != nil {
 			return err
 		}
@@ -161,7 +188,17 @@ func run(outDir string, quick bool, seed uint64, parallel int) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %-16s (%.1fs)\n", s.file, time.Since(start).Seconds())
+		if manifest {
+			info := obs.RunInfo{Experiment: s.file[:len(s.file)-len(".txt")], Workers: 1}
+			if mi, ok := res.(interface{ RunInfo() obs.RunInfo }); ok {
+				info = mi.RunInfo()
+			}
+			m := obs.NewManifest(info, artifact, wall)
+			if err := m.AppendTo(obs.ManifestPath(artifact)); err != nil {
+				return fmt.Errorf("%s: manifest: %w", s.file, err)
+			}
+		}
+		fmt.Printf("wrote %-16s (%.1fs)\n", s.file, wall.Seconds())
 	}
 	return nil
 }

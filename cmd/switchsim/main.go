@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flit"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -31,8 +32,17 @@ func main() {
 		drainP = flag.Float64("drain", 1.0, "probability the downstream sink drains a flit each cycle")
 		cycles = flag.Int64("cycles", 200_000, "simulation cycles")
 		seed   = flag.Uint64("seed", 1, "random seed")
+		pprofA = flag.String("pprof", "", "serve net/http/pprof and the obs registry expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprofA != "" {
+		addr, err := obs.ServeDebug(*pprofA, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "switchsim: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "switchsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
+	}
 	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "switchsim: %v\n", err)
 		os.Exit(1)

@@ -78,6 +78,11 @@ type Config struct {
 	// the cycle its tail flit left, and its occupancy in cycles
 	// (== length when there are no stalls).
 	OnDeparture func(p flit.Packet, cycle int64, occupancy int64)
+	// OnInject, if set, observes every packet admitted to a queue
+	// (after the engine stamps Arrival and ID) — the counterpart of
+	// OnDeparture that lets an observer track the in-flight backlog
+	// without polling.
+	OnInject func(p flit.Packet, cycle int64)
 }
 
 // Engine simulates the configured system cycle by cycle.
@@ -182,6 +187,9 @@ func (e *Engine) Inject(p flit.Packet) {
 		}
 	} else {
 		e.cfg.FlitSched.OnArrival(p.Flow, wasEmpty)
+	}
+	if e.cfg.OnInject != nil {
+		e.cfg.OnInject(p, e.cycle)
 	}
 }
 

@@ -36,6 +36,29 @@ func Workers(n int) int {
 	return n
 }
 
+// Progress observes job completions: done jobs out of total have
+// finished (successfully or not). On the parallel path it is called
+// from worker goroutines, possibly concurrently, so implementations
+// must be safe for concurrent use; the done counts it sees are
+// monotone per call site but may arrive out of order across
+// goroutines. A nil Progress is ignored.
+type Progress func(done, total int)
+
+// Option configures a Run call.
+type Option func(*options)
+
+type options struct {
+	progress Progress
+}
+
+// WithProgress reports each job completion to p. It exists for the
+// long experiment sweeps: the pool's result order and error contract
+// are unaffected, so output stays byte-identical whether or not
+// progress is observed.
+func WithProgress(p Progress) Option {
+	return func(o *options) { o.progress = p }
+}
+
 // Run executes jobs on up to workers goroutines (Workers(workers) of
 // them) and returns the results in submission order, so the output is
 // independent of the worker count and of goroutine scheduling.
@@ -47,12 +70,19 @@ func Workers(n int) int {
 // with a smaller index is guaranteed to have executed. Jobs with
 // larger indexes may or may not have run; their results must not be
 // used when Run returns an error.
-func Run[T any](jobs []Job[T], workers int) ([]T, error) {
+func Run[T any](jobs []Job[T], workers int, opts ...Option) ([]T, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	workers = Workers(workers)
 	results := make([]T, len(jobs))
 	if workers == 1 || len(jobs) <= 1 {
 		for i, job := range jobs {
 			r, err := job()
+			if o.progress != nil {
+				o.progress(i+1, len(jobs))
+			}
 			if err != nil {
 				return results, fmt.Errorf("exec: job %d: %w", i, err)
 			}
@@ -65,7 +95,7 @@ func Run[T any](jobs []Job[T], workers int) ([]T, error) {
 	}
 
 	errs := make([]error, len(jobs))
-	var next atomic.Int64
+	var next, done atomic.Int64
 	// minFailed is the lowest failing index observed so far; workers
 	// stop claiming jobs beyond it (jobs below it must still run so
 	// the reported error matches serial execution).
@@ -83,6 +113,9 @@ func Run[T any](jobs []Job[T], workers int) ([]T, error) {
 					return
 				}
 				r, err := jobs[i]()
+				if o.progress != nil {
+					o.progress(int(done.Add(1)), len(jobs))
+				}
 				if err != nil {
 					errs[i] = err
 					for {

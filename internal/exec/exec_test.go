@@ -117,3 +117,64 @@ func TestWorkers(t *testing.T) {
 		t.Errorf("Workers(7) = %d", got)
 	}
 }
+
+// TestRunProgress pins the WithProgress contract on both paths: every
+// completion is reported exactly once, the final call is (n, n), and
+// results are unaffected by observing progress.
+func TestRunProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int32
+		var sawFinal atomic.Bool
+		const n = 20
+		jobs := make([]Job[int], n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) { return i, nil }
+		}
+		got, err := Run(jobs, workers, WithProgress(func(done, total int) {
+			calls.Add(1)
+			if total != n {
+				t.Errorf("workers=%d: total = %d, want %d", workers, total, n)
+			}
+			if done < 1 || done > n {
+				t.Errorf("workers=%d: done = %d out of range", workers, done)
+			}
+			if done == n {
+				sawFinal.Store(true)
+			}
+		}))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != n {
+			t.Errorf("workers=%d: %d progress calls, want %d", workers, calls.Load(), n)
+		}
+		if !sawFinal.Load() {
+			t.Errorf("workers=%d: final (n, n) progress call never arrived", workers)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestRunProgressReportsFailures: a failing job still counts as a
+// completion, and on the serial path the failing job's own report
+// precedes the early return.
+func TestRunProgressReportsFailures(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[int]{
+		func() (int, error) { return 0, nil },
+		func() (int, error) { return 0, errors.New("boom") },
+		func() (int, error) { return 0, nil },
+	}
+	_, err := Run(jobs, 1, WithProgress(func(done, total int) { calls.Add(1) }))
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("serial: %d progress calls, want 2 (job 1 fails, job 2 never runs)", calls.Load())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flit"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/traffic"
 )
@@ -62,6 +63,12 @@ type SimConfig struct {
 	// AllowLengthAwareStalls forwards to engine.Config (ablations
 	// only).
 	AllowLengthAwareStalls bool
+	// Collector, if set, is wired onto the engine callbacks and
+	// accumulates registry metrics (per-flow service, delay/occupancy
+	// histograms, backlog high water) alongside the standard result
+	// metrics. Safe to share across concurrent runs: all collector
+	// mutations are atomic.
+	Collector *obs.Collector
 }
 
 // RunSim executes one simulation and collects the standard metrics.
@@ -76,7 +83,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		res.Discipline = cfg.FlitSched.Name()
 	}
 	if cfg.WithLog {
-		res.Log = metrics.NewServiceLog(cfg.Flows, 0)
+		// The hint preallocates for the main run; drain-phase cycles
+		// beyond it simply grow the log.
+		res.Log = metrics.NewServiceLogCap(cfg.Flows, 0, cfg.Cycles)
 	}
 	ecfg := engine.Config{
 		Flows:                  cfg.Flows,
@@ -101,6 +110,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		// OnIdle and occupancy-without-service cycles would be logged
 		// as idle time, undercounting utilization derived from the log.
 		ecfg.OnStall = func(cycle int64, flow int) { res.Log.Record(metrics.Stalled) }
+	}
+	if cfg.Collector != nil {
+		cfg.Collector.Wire(&ecfg)
 	}
 	e, err := engine.NewEngine(ecfg)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -36,6 +37,12 @@ type Fig4Params struct {
 	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
 	// every value: each job owns its workload and rng stream.
 	Workers int
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
+	// Collector, if set, accumulates registry telemetry from every
+	// grid job (see SimConfig.Collector); it never affects the result.
+	Collector *obs.Collector `json:"-"`
 }
 
 // DefaultFig4Params returns the paper's parameters (4 million
@@ -125,9 +132,10 @@ func RunFig4(p Fig4Params, panel string) (*Fig4Result, error) {
 		r := r
 		jobs[i] = func() ([]float64, error) {
 			cfg := SimConfig{
-				Flows:  p.Flows,
-				Source: fig4Source(p),
-				Cycles: p.Cycles,
+				Flows:     p.Flows,
+				Source:    fig4Source(p),
+				Cycles:    p.Cycles,
+				Collector: p.Collector,
 			}
 			if r.pkt != nil {
 				cfg.Scheduler = r.pkt()
@@ -145,7 +153,7 @@ func RunFig4(p Fig4Params, panel string) (*Fig4Result, error) {
 			return kb, nil
 		}
 	}
-	kbs, err := exec.Run(jobs, p.Workers)
+	kbs, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -33,6 +34,12 @@ type Fig5Params struct {
 	// byte-identical for every value: each repeat derives its own seed
 	// with rng.Derive.
 	Workers int
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
+	// Collector, if set, accumulates registry telemetry from every
+	// grid job (see SimConfig.Collector); it never affects the result.
+	Collector *obs.Collector `json:"-"`
 }
 
 // DefaultFig5Params returns the paper's parameters.
@@ -131,6 +138,7 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 						Source:     fig5Source(p, intensity, rng.Derive(p.Seed, uint64(r))),
 						Cycles:     p.BurstCycles,
 						DrainAfter: true,
+						Collector:  p.Collector,
 					}
 					if m.pkt != nil {
 						cfg.Scheduler = m.pkt()
@@ -149,7 +157,7 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 			}
 		}
 	}
-	reps, err := exec.Run(jobs, p.Workers)
+	reps, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -32,6 +33,12 @@ type Fig6Params struct {
 	// for every value: each point derives its own seed with
 	// rng.Derive.
 	Workers int
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
+	// Collector, if set, accumulates registry telemetry from every
+	// grid job (see SimConfig.Collector); it never affects the result.
+	Collector *obs.Collector `json:"-"`
 }
 
 // DefaultFig6Params returns the paper's parameters (4 million cycles,
@@ -93,6 +100,7 @@ func RunFig6(p Fig6Params) (*Fig6Result, error) {
 					Source:    traffic.NewMulti(sources...),
 					Cycles:    p.Cycles,
 					WithLog:   true,
+					Collector: p.Collector,
 				})
 				if err != nil {
 					return 0, err
@@ -102,7 +110,7 @@ func RunFig6(p Fig6Params) (*Fig6Result, error) {
 			})
 		}
 	}
-	avgs, err := exec.Run(jobs, p.Workers)
+	avgs, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

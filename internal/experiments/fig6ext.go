@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -33,6 +34,12 @@ type Fig6ExtParams struct {
 	// discipline grid (0 = GOMAXPROCS, 1 = serial). The result is
 	// byte-identical for every value.
 	Workers int
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
+	// Collector, if set, accumulates registry telemetry from every
+	// grid job (see SimConfig.Collector); it never affects the result.
+	Collector *obs.Collector `json:"-"`
 }
 
 // DefaultFig6ExtParams returns defaults.
@@ -82,6 +89,7 @@ func RunFig6Ext(p Fig6ExtParams) (*Fig6ExtResult, error) {
 					Source:    traffic.NewMulti(sources...),
 					Cycles:    p.Cycles,
 					WithLog:   true,
+					Collector: p.Collector,
 				})
 				if err != nil {
 					return 0, err
@@ -90,7 +98,7 @@ func RunFig6Ext(p Fig6ExtParams) (*Fig6ExtResult, error) {
 			})
 		}
 	}
-	fms, err := exec.Run(jobs, p.Workers)
+	fms, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

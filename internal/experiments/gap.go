@@ -25,6 +25,9 @@ type GapParams struct {
 	Flows  int
 	Cycles int64
 	Seed   uint64
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
 	// Workers caps the worker pool running the per-discipline jobs
 	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
 	// every value.
@@ -105,7 +108,7 @@ func RunGap(p GapParams) (*GapResult, error) {
 			return gaps{max: max, mean: sum / float64(p.Flows)}, nil
 		}
 	}
-	results, err := exec.Run(jobs, p.Workers)
+	results, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

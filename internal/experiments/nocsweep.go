@@ -30,6 +30,9 @@ type NoCSweepParams struct {
 	MinLen     int
 	MaxLen     int
 	Seed       uint64
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
 	// Workers caps the worker pool running the discipline × rate grid
 	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
 	// every value: each point derives its own seed with rng.Derive.
@@ -100,7 +103,7 @@ func RunNoCSweep(p NoCSweepParams) (*NoCSweepResult, error) {
 			})
 		}
 	}
-	points, err := exec.Run(jobs, p.Workers)
+	points, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,9 @@ type ParkingLotParams struct {
 	Cycles int64
 	// PacketLen is the fixed packet length in flits.
 	PacketLen int
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
 	// Workers caps the worker pool running the two arbitration
 	// variants (0 = GOMAXPROCS, 1 = serial). The result is
 	// byte-identical for every value.
@@ -132,7 +135,7 @@ func RunParkingLot(p ParkingLotParams) (*ParkingLotResult, error) {
 	shares, err := exec.Run([]exec.Job[[]float64]{
 		func() ([]float64, error) { return run(false) },
 		func() ([]float64, error) { return run(true) },
-	}, p.Workers)
+	}, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,9 @@ type Table1Params struct {
 	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
 	// every value.
 	Workers int
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
 }
 
 // DefaultTable1Params returns paper-scale parameters.
@@ -122,7 +125,7 @@ func RunTable1(p Table1Params) (*Table1Result, error) {
 			return disc{fm: ft.FM(), maxLen: maxLen}, nil
 		}
 	}
-	discs, err := exec.Run(jobs, p.Workers)
+	discs, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

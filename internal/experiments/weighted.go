@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/traffic"
 )
@@ -28,6 +29,12 @@ type WeightedParams struct {
 	// uniformity with the other runners; the result never depends on
 	// it.
 	Workers int
+	// Progress, if set, observes grid-job completions (see
+	// exec.WithProgress); it never affects the result.
+	Progress exec.Progress `json:"-"`
+	// Collector, if set, accumulates registry telemetry from every
+	// grid job (see SimConfig.Collector); it never affects the result.
+	Collector *obs.Collector `json:"-"`
 }
 
 // DefaultWeightedParams returns defaults.
@@ -66,8 +73,9 @@ func RunWeighted(p WeightedParams) (*WeightedResult, error) {
 			Scheduler: e,
 			Source:    traffic.NewMulti(sources...),
 			Cycles:    p.Cycles,
+			Collector: p.Collector,
 		})
-	}}, p.Workers)
+	}}, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {
 		return nil, err
 	}

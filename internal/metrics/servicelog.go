@@ -36,18 +36,34 @@ const Stalled = 0xFE
 // are the Stalled and Idle markers) with the given checkpoint stride
 // (0 means a sensible default).
 func NewServiceLog(n, stride int) *ServiceLog {
+	return NewServiceLogCap(n, stride, 0)
+}
+
+// NewServiceLogCap is NewServiceLog with a capacity hint: the
+// expected number of recorded cycles (0 for unknown). The hint
+// preallocates the per-cycle sequence and the checkpoint table so a
+// multi-million-cycle run records without append growth — on a
+// 4M-cycle Figure 6 run the unhinted log re-copies its 4 MB sequence
+// ~20 times as append doubles it (see BenchmarkServiceLogRecord).
+// Recording beyond the hint is fine; the log just grows again.
+func NewServiceLogCap(n, stride int, expectCycles int64) *ServiceLog {
 	if n < 1 || n > 254 {
 		panic("metrics: ServiceLog supports 1..254 flows")
 	}
 	if stride <= 0 {
 		stride = 4096
 	}
-	return &ServiceLog{
-		n:           n,
-		stride:      stride,
-		checkpoints: [][]int64{make([]int64, n)},
-		totals:      make([]int64, n),
+	l := &ServiceLog{
+		n:      n,
+		stride: stride,
+		totals: make([]int64, n),
 	}
+	if expectCycles > 0 {
+		l.seq = make([]uint8, 0, expectCycles)
+		l.checkpoints = make([][]int64, 0, expectCycles/int64(stride)+1)
+	}
+	l.checkpoints = append(l.checkpoints, make([]int64, n))
+	return l
 }
 
 // Record appends one cycle: the flow served, Idle, or Stalled.

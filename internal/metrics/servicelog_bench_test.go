@@ -1,0 +1,20 @@
+package metrics
+
+import "testing"
+
+// BenchmarkServiceLogRecord measures the per-cycle cost of the service
+// log with and without the capacity hint. The hinted variant should
+// show near-zero allocations: the unhinted one pays append doubling —
+// on a multi-million-cycle run that is ~20 re-copies of a multi-MB
+// sequence.
+func BenchmarkServiceLogRecord(b *testing.B) {
+	run := func(b *testing.B, hint int64) {
+		b.ReportAllocs()
+		l := NewServiceLogCap(8, 0, hint)
+		for i := 0; i < b.N; i++ {
+			l.Record(i & 7)
+		}
+	}
+	b.Run("unhinted", func(b *testing.B) { run(b, 0) })
+	b.Run("hinted", func(b *testing.B) { run(b, int64(b.N)) })
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+)
+
+var (
+	publishOnce sync.Once
+	publishMu   sync.Mutex
+	publishedAt *Registry
+)
+
+// ServeDebug starts an HTTP debug server on addr (e.g.
+// "localhost:6060") exposing the standard net/http/pprof endpoints
+// under /debug/pprof/ and a live snapshot of reg as the "obs" expvar
+// under /debug/vars. It returns the bound address (useful with
+// ":0") once the listener is up; the server itself runs on a
+// background goroutine for the life of the process.
+//
+// Calling ServeDebug again replaces which registry the "obs" expvar
+// snapshots and starts an additional listener.
+func ServeDebug(addr string, reg *Registry) (net.Addr, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	publishMu.Lock()
+	publishedAt = reg
+	publishMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			publishMu.Lock()
+			r := publishedAt
+			publishMu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// The error is unreachable by callers: the listener lives until
+	// process exit.
+	go http.Serve(ln, nil)
+	return ln.Addr(), nil
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// ManifestSchema is the current manifest schema version; bump it when
+// a field changes meaning, not when fields are added.
+const ManifestSchema = 1
+
+// RunInfo is what an experiment runner knows about its own run; every
+// result type in internal/experiments implements
+//
+//	RunInfo() obs.RunInfo
+//
+// so the cmd layer can assemble a Manifest without per-experiment
+// switch statements.
+type RunInfo struct {
+	// Experiment is the runner's short name ("fig6", "table1", ...).
+	Experiment string `json:"experiment"`
+	// Seeds are the rng seeds the run consumed: the base seed for
+	// single-stream runners, or the per-job derived seeds for grids.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Workers is the resolved worker-pool size (1 for serial runners).
+	Workers int `json:"workers"`
+	// Cycles is the total configured simulation cycles summed over the
+	// run's grid jobs. Post-burst drain phases (Figure 5, nocsweep)
+	// are excluded: their length is data-dependent.
+	Cycles int64 `json:"cycles"`
+}
+
+// Manifest records one artifact regeneration: what ran, from which
+// source revision, with which seeds, and how fast. One manifest is
+// appended per run as a single JSON line, so a *.manifest.jsonl file
+// next to an artifact accumulates the artifact's regeneration history.
+type Manifest struct {
+	Schema     int    `json:"schema"`
+	Experiment string `json:"experiment"`
+	// Artifact is the results file this run (re)generated, if any.
+	Artifact string `json:"artifact,omitempty"`
+	// Command is the full command line of the generating process.
+	Command []string `json:"command"`
+	// GitRevision is the VCS revision baked into the binary by the go
+	// toolchain ("" for plain `go run` / `go test` builds).
+	GitRevision string   `json:"git_revision,omitempty"`
+	GoVersion   string   `json:"go_version"`
+	Seeds       []uint64 `json:"seeds,omitempty"`
+	Workers     int      `json:"workers"`
+	Cycles      int64    `json:"cycles"`
+	WallSeconds float64  `json:"wall_seconds"`
+	// CyclesPerSec is Cycles / WallSeconds — the sweep's aggregate
+	// simulation throughput across all workers.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Metrics is a registry snapshot taken when the run finished.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// NewManifest assembles a manifest from a runner's RunInfo plus the
+// process-level facts (command line, toolchain, VCS revision).
+func NewManifest(info RunInfo, artifact string, wall time.Duration) Manifest {
+	m := Manifest{
+		Schema:      ManifestSchema,
+		Experiment:  info.Experiment,
+		Artifact:    artifact,
+		Command:     os.Args,
+		GitRevision: vcsRevision(),
+		GoVersion:   runtime.Version(),
+		Seeds:       info.Seeds,
+		Workers:     info.Workers,
+		Cycles:      info.Cycles,
+		WallSeconds: wall.Seconds(),
+	}
+	if s := wall.Seconds(); s > 0 && info.Cycles > 0 {
+		m.CyclesPerSec = float64(info.Cycles) / s
+	}
+	return m
+}
+
+// WithMetrics attaches a snapshot of reg and returns the manifest.
+func (m Manifest) WithMetrics(reg *Registry) Manifest {
+	s := reg.Snapshot()
+	m.Metrics = &s
+	return m
+}
+
+// AppendTo appends the manifest as one JSON line to path, creating
+// the file if needed.
+func (m Manifest) AppendTo(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f) // Encode terminates the line with \n
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ManifestPath derives the manifest path of an artifact:
+// "results/fig6.txt" -> "results/fig6.manifest.jsonl".
+func ManifestPath(artifact string) string {
+	base := artifact
+	if i := strings.LastIndexByte(base, '.'); i > strings.LastIndexByte(base, '/') {
+		base = base[:i]
+	}
+	return base + ".manifest.jsonl"
+}
+
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestManifestAppendTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig6.manifest.jsonl")
+	info := RunInfo{Experiment: "fig6", Seeds: []uint64{1, 2}, Workers: 4, Cycles: 8_000_000}
+	m := NewManifest(info, "results/fig6.txt", 2*time.Second)
+	reg := NewRegistry()
+	reg.Counter("engine.flit_cycles").Add(123)
+	m = m.WithMetrics(reg)
+	// Two appends — one line per run, history preserved.
+	if err := m.AppendTo(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendTo(path); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []Manifest
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var got Manifest
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %d: %v", len(lines), err)
+		}
+		lines = append(lines, got)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d manifest lines, want 2", len(lines))
+	}
+	got := lines[1]
+	if got.Schema != ManifestSchema {
+		t.Errorf("schema = %d, want %d", got.Schema, ManifestSchema)
+	}
+	if got.Experiment != "fig6" || got.Artifact != "results/fig6.txt" {
+		t.Errorf("experiment/artifact = %q/%q", got.Experiment, got.Artifact)
+	}
+	if len(got.Seeds) != 2 || got.Seeds[0] != 1 {
+		t.Errorf("seeds = %v", got.Seeds)
+	}
+	if got.Workers != 4 || got.Cycles != 8_000_000 {
+		t.Errorf("workers/cycles = %d/%d", got.Workers, got.Cycles)
+	}
+	if got.WallSeconds != 2 || got.CyclesPerSec != 4_000_000 {
+		t.Errorf("wall/throughput = %v/%v", got.WallSeconds, got.CyclesPerSec)
+	}
+	if got.GoVersion == "" || len(got.Command) == 0 {
+		t.Errorf("go_version/command not recorded: %q/%v", got.GoVersion, got.Command)
+	}
+	if got.Metrics == nil || got.Metrics.Counters["engine.flit_cycles"] != 123 {
+		t.Errorf("metrics snapshot missing: %+v", got.Metrics)
+	}
+}
+
+func TestManifestPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"results/fig6.txt":   "results/fig6.manifest.jsonl",
+		"fig6.txt":           "fig6.manifest.jsonl",
+		"results/noext":      "results/noext.manifest.jsonl",
+		"res.dir/table1.txt": "res.dir/table1.manifest.jsonl",
+	} {
+		if got := ManifestPath(in); got != want {
+			t.Errorf("ManifestPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

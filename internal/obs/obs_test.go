@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 4 {
+		t.Errorf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("SetMax = %d, want 9", got)
+	}
+
+	v := r.Vec("v", 3)
+	v.Add(0, 2)
+	v.Add(2, 5)
+	if got := v.Sum(); got != 7 {
+		t.Errorf("vec sum = %d, want 7", got)
+	}
+	if got := v.Values(); got[0] != 2 || got[1] != 0 || got[2] != 5 {
+		t.Errorf("vec values = %v", got)
+	}
+}
+
+func TestHistogramLog2(t *testing.T) {
+	h := NewHistogram(HistogramOpts{Log2: true})
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if m := h.Mean(); m != 500.5 {
+		t.Errorf("mean = %v, want 500.5", m)
+	}
+	// Log2 quantiles are upper bounds of power-of-two buckets: the
+	// 500th value (500) lies in [512, 1023)'s predecessor [256, 511].
+	if p := h.Quantile(0.5); p != 511 {
+		t.Errorf("p50 = %d, want 511", p)
+	}
+	// The top bucket's nominal bound (1023) exceeds the observed max;
+	// the estimate must be clamped to it.
+	if p := h.Quantile(0.99); p != 1000 {
+		t.Errorf("p99 = %d, want clamped max 1000", p)
+	}
+	// Non-positive observations land in bucket 0.
+	h.Observe(0)
+	if p := h.Quantile(0); p != 0 {
+		t.Errorf("p0 = %d, want 0", p)
+	}
+}
+
+func TestHistogramLinear(t *testing.T) {
+	h := NewHistogram(HistogramOpts{Width: 10, Buckets: 10})
+	for v := int64(0); v < 100; v++ {
+		h.Observe(v)
+	}
+	if p := h.Quantile(0.5); p != 59 {
+		t.Errorf("p50 = %d, want 59 (upper bound of bucket [50,59])", p)
+	}
+	// Overflow bucket reports the observed max.
+	h.Observe(5000)
+	if p := h.Quantile(1); p != 5000 {
+		t.Errorf("p100 = %d, want 5000", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(HistogramOpts{})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(HistogramOpts{Log2: true})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d, want 1000", h.Max())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cycles").Add(42)
+	r.Gauge("backlog").Set(3)
+	r.Vec("flits", 2).Add(1, 9)
+	r.Histogram("delay", HistogramOpts{Log2: true}).Observe(100)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["cycles"] != 42 {
+		t.Errorf("counters = %v", back.Counters)
+	}
+	if back.Vecs["flits"][1] != 9 {
+		t.Errorf("vecs = %v", back.Vecs)
+	}
+	if back.Histograms["delay"].Count != 1 || back.Histograms["delay"].Max != 100 {
+		t.Errorf("histograms = %v", back.Histograms)
+	}
+}
+
+func TestNewProgress(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, "sweep")
+	p(1, 4)
+	p(4, 4)
+	out := sb.String()
+	if !strings.Contains(out, "sweep: 4/4 (100.0%)") {
+		t.Errorf("final progress line missing, got %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("final progress line must end the line, got %q", out)
+	}
+	// Out-of-order completions (parallel pool) must not regress the
+	// rendered count.
+	sb.Reset()
+	p2 := NewProgress(&sb, "x")
+	p2(3, 3)
+	p2(2, 3)
+	if strings.Contains(sb.String(), "2/3") {
+		t.Errorf("progress regressed: %q", sb.String())
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("probe").Add(11)
+	addr, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for path, want := range map[string]string{
+		"/debug/vars":               `"probe":11`,
+		"/debug/pprof/":             "goroutine",
+		"/debug/pprof/heap?debug=1": "heap profile",
+	} {
+		resp, err := client.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+			continue
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body does not contain %q", path, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// NewProgress returns a callback compatible with exec.WithProgress
+// that renders a single in-place progress line
+//
+//	label: 12/40 (30.0%) eta 1m20s
+//
+// to w (normally os.Stderr). Updates are throttled to one every
+// 200ms, except the final one (done == total), which is always
+// rendered and terminates the line. The callback is safe for
+// concurrent use — worker-pool goroutines report completions
+// directly.
+func NewProgress(w io.Writer, label string) func(done, total int) {
+	p := &progress{w: w, label: label, start: time.Now()}
+	return p.update
+}
+
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	start time.Time
+	last  time.Time
+	best  int // highest done seen; completions may report out of order
+}
+
+func (p *progress) update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if done < p.best {
+		return
+	}
+	p.best = done
+	now := time.Now()
+	final := done >= total
+	if !final && now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	line := fmt.Sprintf("\r%s: %d/%d (%.1f%%)", p.label, done, total, pct)
+	if !final && done > 0 {
+		elapsed := now.Sub(p.start)
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+	}
+	if final {
+		line += fmt.Sprintf(" in %s\n", time.Since(p.start).Round(time.Millisecond))
+	}
+	fmt.Fprint(p.w, line)
+}
