@@ -59,8 +59,16 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the progress line (overrides -progress)")
 		manifest  = flag.String("manifest", "", "append a JSONL run manifest to this path (\"\" = no manifest)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the obs registry expvar on this address (e.g. localhost:6060)")
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. \"stall(flow=0,at=1000,dur=500);drop(router=0,port=1,p=0.01)\" (\"\" = fault-free; see internal/fault)")
+		checkInv  = flag.Bool("check", false, "enable the runtime invariant checker (ERR Lemma 1, flit conservation, FIFO, deadlock watchdog); violations fail the run with a cycle-stamped report")
+		ckptPath  = flag.String("checkpoint", "", "record completed grid jobs to this JSONL file for crash-resilient sweeps (\"\" = off)")
+		resume    = flag.Bool("resume", false, "resume from -checkpoint, skipping jobs it already holds; aggregate output is byte-identical to an uninterrupted run")
 	)
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "errsim: -resume requires -checkpoint")
+		os.Exit(1)
+	}
 	if *pprofAddr != "" {
 		addr, err := obs.ServeDebug(*pprofAddr, obs.Default())
 		if err != nil {
@@ -81,8 +89,14 @@ func main() {
 	if *manifest != "" || *pprofAddr != "" {
 		col = obs.NewCollector(obs.Default(), 254)
 	}
+	rb := experiments.Robustness{
+		Faults:     *faults,
+		Check:      *checkInv,
+		Checkpoint: *ckptPath,
+		Resume:     *resume,
+	}
 	start := time.Now()
-	res, err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, prog, col)
+	res, err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, prog, col, rb)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
 		os.Exit(1)
@@ -97,7 +111,9 @@ func main() {
 		if mi, ok := res.(interface{ RunInfo() obs.RunInfo }); ok {
 			info = mi.RunInfo()
 		}
-		m := obs.NewManifest(info, "", wall).WithMetrics(obs.Default())
+		m := obs.NewManifest(info, "", wall).
+			WithFaults(*faults, obs.Default().Counter("check.violations").Value()).
+			WithMetrics(obs.Default())
 		if err := m.AppendTo(*manifest); err != nil {
 			fmt.Fprintf(os.Stderr, "errsim: manifest: %v\n", err)
 			os.Exit(1)
@@ -105,7 +121,7 @@ func main() {
 	}
 }
 
-func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, prog exec.Progress, col *obs.Collector) (renderer, error) {
+func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, prog exec.Progress, col *obs.Collector, rb experiments.Robustness) (renderer, error) {
 	switch exp {
 	case "table1":
 		p := experiments.DefaultTable1Params()
@@ -113,6 +129,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Fig4.Collector = col
+		p.Fig4.Robustness = rb
 		if cycles > 0 {
 			p.Fig4.Cycles = cycles
 		}
@@ -128,6 +145,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -143,6 +161,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Robustness = rb
 		if cycles > 0 {
 			p.BurstCycles = cycles
 		}
@@ -157,6 +176,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -171,6 +191,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -180,6 +201,9 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		return experiments.RunFig6Ext(p)
 
 	case "occupancy":
+		if rb != (experiments.Robustness{}) {
+			return nil, fmt.Errorf("experiment %q does not support -faults/-check/-checkpoint", exp)
+		}
 		p := experiments.DefaultAblationOccupancyParams()
 		p.Seed = seed
 		if cycles > 0 {
@@ -188,6 +212,9 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		return experiments.RunAblationOccupancy(p)
 
 	case "screset":
+		if rb != (experiments.Robustness{}) {
+			return nil, fmt.Errorf("experiment %q does not support -faults/-check/-checkpoint", exp)
+		}
 		p := experiments.DefaultAblationSurplusResetParams()
 		p.Seed = seed
 		if cycles > 0 {
@@ -201,6 +228,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -211,6 +239,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Seed = seed
 		p.Workers = parallel
 		p.Progress = prog
+		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
@@ -221,6 +250,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Seed = seed
 		p.Workers = parallel
 		p.Progress = prog
+		p.Robustness = rb
 		p.Torus = exp == "nocsweep-torus"
 		if cycles > 0 {
 			p.WarmCycles = cycles
@@ -231,12 +261,17 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p := experiments.DefaultParkingLotParams()
 		p.Workers = parallel
 		p.Progress = prog
+		p.Seed = seed
+		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
 		}
 		return experiments.RunParkingLot(p)
 
 	case "lr":
+		if rb != (experiments.Robustness{}) {
+			return nil, fmt.Errorf("experiment %q does not support -faults/-check/-checkpoint", exp)
+		}
 		p := experiments.DefaultLRParams()
 		p.Seed = seed
 		if cycles > 0 {

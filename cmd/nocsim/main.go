@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/plot"
@@ -33,6 +35,9 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		torus   = flag.Bool("torus", false, "wraparound links with dateline VC switching")
 		pprofA  = flag.String("pprof", "", "serve net/http/pprof and the obs registry expvar on this address (e.g. localhost:6060)")
+		faults  = flag.String("faults", "", "fault-injection spec, e.g. \"freeze(router=5,at=1000,dur=500);drop(router=0,port=1,p=0.01)\" (\"\" = fault-free; see internal/fault)")
+		checkF  = flag.Bool("check", false, "validate ejected flit streams and run a deadlock watchdog that dumps the channel-wait graph on a stall")
+		fseed   = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -43,13 +48,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "nocsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus); err != nil {
+	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool) error {
+func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -76,6 +81,46 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		return err
 	}
 
+	spec, err := fault.Parse(faults)
+	if err != nil {
+		return err
+	}
+	if faultSeed == 0 {
+		faultSeed = rng.Derive(seed, 0xfa0175)
+	}
+	finj := fault.New(spec, faultSeed)
+	m.InstallFaults(finj)
+	var rec *check.Recorder
+	var wd *check.Watchdog
+	if checkF {
+		rec = check.NewRecorder()
+		rec.Register(obs.Default())
+		m.CheckStreams(rec)
+		// Budget: longest fault window plus slack, so a transient
+		// freeze is ridden out but a true deadlock is flagged.
+		limit := int64(1 << 16)
+		if spec != nil {
+			for _, d := range spec.Directives {
+				if 4*d.Dur > limit {
+					limit = 4 * d.Dur
+				}
+			}
+		}
+		wd = check.NewWatchdog(limit)
+		m.WatchProgress(wd)
+	}
+	// wedged reports a mesh holding flits that has delivered nothing
+	// for the watchdog budget, dumping the channel-wait graph (who is
+	// blocked on which VC, and why) before aborting cleanly.
+	wedged := func() error {
+		if wd == nil || !wd.Expired(m.Cycle(), int64(m.InFlight())) {
+			return nil
+		}
+		return fmt.Errorf("wedged at cycle %d: %d flits in flight, no delivery for %d cycles (%d flits dropped by fault injection)\nchannel-wait graph:\n%s",
+			m.Cycle(), m.InFlight(), wd.Limit, finj.Counters().Dropped,
+			noc.FormatWaitGraph(m.WaitGraph(m.Cycle()), 32))
+	}
+
 	var pat noc.Pattern
 	switch pattern {
 	case "uniform":
@@ -94,8 +139,25 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 	for c := int64(0); c < cycles; c++ {
 		inj.Step()
 		m.Step()
+		if err := wedged(); err != nil {
+			return err
+		}
 	}
-	drained := m.Drain(10 * cycles)
+	drained := true
+	if wd == nil {
+		drained = m.Drain(10 * cycles)
+	} else {
+		for c := int64(0); c < 10*cycles; c++ {
+			if m.InFlight() == 0 {
+				break
+			}
+			m.Step()
+			if err := wedged(); err != nil {
+				return err
+			}
+		}
+		drained = m.InFlight() == 0
+	}
 
 	var injected, delivered int64
 	flits := make([]float64, m.Nodes())
@@ -119,6 +181,20 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 	fmt.Printf("latency: mean %.1f cycles, min %.0f, max %.0f (n=%d)\n",
 		m.Latency.Mean(), m.Latency.Min(), m.Latency.Max(), m.Latency.N())
 	spread := stats.MaxAbsDiff(flits)
-	fmt.Printf("per-source delivered flits: spread %.0f\n\n", spread)
-	return plot.Bar(os.Stdout, "Delivered flits per source node", labels, flits, 50)
+	fmt.Printf("per-source delivered flits: spread %.0f\n", spread)
+	if fc := finj.Counters(); fc != (fault.Counters{}) {
+		fmt.Printf("faults: %d stall cycles, %d dropped flits, %d corrupted flits\n",
+			fc.StallCycles, fc.Dropped, fc.Corrupted)
+	}
+	fmt.Println()
+	if err := plot.Bar(os.Stdout, "Delivered flits per source node", labels, flits, 50); err != nil {
+		return err
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return fmt.Errorf("invariant checking failed: %w", err)
+		}
+		fmt.Printf("\ninvariant checking: %d violations\n", rec.Count())
+	}
+	return nil
 }

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/flit"
 	"repro/internal/obs"
 	"repro/internal/plot"
@@ -33,6 +35,9 @@ func main() {
 		cycles = flag.Int64("cycles", 200_000, "simulation cycles")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		pprofA = flag.String("pprof", "", "serve net/http/pprof and the obs registry expvar on this address (e.g. localhost:6060)")
+		faults = flag.String("faults", "", "fault-injection spec, e.g. \"stall(port=0,at=1000,dur=500);malformed(kind=notail,p=0.001)\" (\"\" = fault-free; see internal/fault)")
+		checkF = flag.Bool("check", false, "validate the output flit stream and run a deadlock watchdog; violations fail the run with a cycle-stamped report")
+		fseed  = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -43,13 +48,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "switchsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed); err != nil {
+	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF); err != nil {
 		fmt.Fprintf(os.Stderr, "switchsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64) error {
+func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -70,12 +75,71 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 	if err != nil {
 		return err
 	}
+	spec, err := fault.Parse(faults)
+	if err != nil {
+		return err
+	}
+	if faultSeed == 0 {
+		faultSeed = rng.Derive(seed, 0xfa0175)
+	}
+	finj := fault.New(spec, faultSeed)
+	if f := finj.FreezeFunc(0); f != nil {
+		r.SetFreeze(f)
+	}
+	for port := 0; port < ports; port++ {
+		if f := finj.OutputFault(0, port); f != nil {
+			r.SetOutputFault(port, f)
+		}
+	}
+	// Flit-level malformed directives (notail, duphead, ...) replace a
+	// whole injected packet's flit stream; they exercise the switch's
+	// tolerance and, with -check, the stream validator's detection.
+	var mdirs []fault.Directive
+	if spec != nil {
+		for _, d := range spec.Directives {
+			if d.Kind == "malformed" {
+				mdirs = append(mdirs, d)
+			}
+		}
+	}
+	msrc := rng.New(rng.Derive(faultSeed, 0xfa02))
+	var malformed int64
+
 	src := rng.New(seed)
 	sink := wormhole.NewStallSink(8, func(cycle int64) bool { return src.Bernoulli(drainP) })
 	wormhole.ConnectEndpoint(r, 0, sink)
 	sink.Bind(r, 0)
 	served := make([]float64, inputs)
-	sink.Inner.OnFlit = func(f flit.Flit, vc int, cycle int64) { served[f.Flow-1]++ }
+	// Malformed streams can carry out-of-range flow ids; tolerate them
+	// rather than indexing blindly.
+	sink.Inner.OnFlit = func(f flit.Flit, vc int, cycle int64) {
+		if f.Flow >= 1 && f.Flow <= inputs {
+			served[f.Flow-1]++
+		}
+	}
+
+	var rec *check.Recorder
+	var wd *check.Watchdog
+	if checkF {
+		rec = check.NewRecorder()
+		rec.Register(obs.Default())
+		stream := check.NewFlitStream(rec, "output 0")
+		prev := sink.Inner.OnFlit
+		sink.Inner.OnFlit = func(f flit.Flit, vc int, cycle int64) {
+			stream.Observe(f, cycle)
+			wd.Progress(cycle)
+			prev(f, vc, cycle)
+		}
+		limit := int64(1 << 16)
+		if spec != nil {
+			for _, d := range spec.Directives {
+				if 4*d.Dur > limit {
+					limit = 4 * d.Dur
+				}
+			}
+		}
+		wd = check.NewWatchdog(limit)
+	}
 
 	// Keep every input backlogged, feeding whole packets when space
 	// allows.
@@ -93,7 +157,18 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 			port := in + 1
 			if pending[in] == nil {
 				p := flit.Packet{Flow: port, Length: dists[in].Draw(src), Dst: 0}
-				pending[in] = p.Flits()
+				fs := p.Flits()
+				for _, d := range mdirs {
+					if msrc.Bernoulli(d.P) {
+						fs = fault.MalformedFlits(d.MKind, port, p.Length, malformed)
+						malformed++
+						break
+					}
+				}
+				if len(fs) == 0 {
+					continue // zero-length malformation: nothing to inject
+				}
+				pending[in] = fs
 			}
 			// Inject on VC 0: a packet's flits must stay contiguous
 			// within one VC.
@@ -106,6 +181,16 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 		}
 		r.Step(c)
 		sink.Step(c)
+		// Inputs are permanently backlogged, so a silent output for the
+		// whole watchdog budget means the switch is wedged.
+		if wd != nil && wd.Expired(c, 1) {
+			dump := ""
+			for _, e := range r.WaitEdges(c) {
+				dump += "  " + e.String() + "\n"
+			}
+			return fmt.Errorf("wedged at cycle %d (no delivery for %d cycles)\nchannel-wait graph:\n%s",
+				c, wd.Limit, dump)
+		}
 	}
 
 	labels := make([]string, inputs)
@@ -115,7 +200,21 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 			labels[i] += " (4x len)"
 		}
 	}
-	fmt.Printf("switch: %d inputs -> 1 output, arb=%s, drain p=%.2f, %d cycles\n\n",
+	fmt.Printf("switch: %d inputs -> 1 output, arb=%s, drain p=%.2f, %d cycles\n",
 		inputs, arb, drainP, cycles)
-	return plot.Bar(os.Stdout, "Flits delivered per input on the contended output", labels, served, 50)
+	if fc := finj.Counters(); fc != (fault.Counters{}) || malformed > 0 {
+		fmt.Printf("faults: %d stall cycles, %d dropped flits, %d corrupted flits, %d malformed packets\n",
+			fc.StallCycles, fc.Dropped, fc.Corrupted, malformed)
+	}
+	fmt.Println()
+	if err := plot.Bar(os.Stdout, "Flits delivered per input on the contended output", labels, served, 50); err != nil {
+		return err
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return fmt.Errorf("invariant checking failed: %w", err)
+		}
+		fmt.Printf("\ninvariant checking: %d violations\n", rec.Count())
+	}
+	return nil
 }

@@ -56,7 +56,10 @@ func ServiceBounds(n, k int64, maxSCByRound map[int64]int64, m int64) (lo, hi in
 //   - allowance positivity: every A_i(r) >= 1 (the "+1" guarantee);
 //   - Theorem 2: for every flow present in every round of a window of
 //     up to maxWindow consecutive complete rounds, the service bounds
-//     hold.
+//     hold. Windows never span busy periods: ERR restarts its round
+//     numbering from 1 whenever the system drains (Figure 1's
+//     Initialize), so same-numbered rounds of different busy periods
+//     are distinct rounds and must not be merged.
 //
 // m is the largest packet cost that occurred during the run. It
 // returns nil when every check passes.
@@ -81,17 +84,76 @@ func VerifyTrace(rec *core.TraceRecorder, m int64, maxWindow int) error {
 				ev.Surplus, ev.Flow, ev.Round)
 		}
 	}
-	// Theorem 2 on complete rounds.
-	last := rec.Events[len(rec.Events)-1].Round
-	complete := last - 1
-	if complete < 1 || maxWindow < 1 {
+	if maxWindow < 1 {
+		return nil
+	}
+	for _, bp := range busyPeriods(rec) {
+		if err := verifyServiceBounds(bp, m, maxWindow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// busyPeriod is one scheduler busy period: the events between two
+// all-empty resets, with round numbers starting from 1.
+type busyPeriod struct {
+	events   []core.RoundEvent
+	complete int64 // rounds 1..complete are fully recorded
+}
+
+// busyPeriods splits a trace at the scheduler's round-counter resets.
+// RoundStart records make the split unambiguous — a restart at round
+// 1 marks the reset even for single-round busy periods — and their
+// visit counts tell a fully recorded round from one the trace
+// truncates mid-round. Without RoundStart records (a hand-built
+// recorder) the split falls back to watching the round number drop.
+func busyPeriods(rec *core.TraceRecorder) []busyPeriod {
+	var out []busyPeriod
+	var cur busyPeriod
+	if len(rec.Rounds) == 0 {
+		for i, ev := range rec.Events {
+			if i > 0 && ev.Round < rec.Events[i-1].Round {
+				cur.complete = rec.Events[i-1].Round
+				out = append(out, cur)
+				cur = busyPeriod{}
+			}
+			cur.events = append(cur.events, ev)
+		}
+		// The trace may stop mid-round: only earlier rounds are
+		// known complete.
+		cur.complete = cur.events[len(cur.events)-1].Round - 1
+		return append(out, cur)
+	}
+	ei := 0
+	for i, ri := range rec.Rounds {
+		if i > 0 && ri.Round == 1 {
+			out = append(out, cur)
+			cur = busyPeriod{}
+		}
+		visited := 0
+		for ; visited < ri.Visits && ei < len(rec.Events) && rec.Events[ei].Round == ri.Round; visited++ {
+			cur.events = append(cur.events, rec.Events[ei])
+			ei++
+		}
+		if visited == ri.Visits {
+			cur.complete = ri.Round
+		}
+	}
+	return append(out, cur)
+}
+
+// verifyServiceBounds checks Theorem 2 over every window of complete
+// rounds within one busy period.
+func verifyServiceBounds(bp busyPeriod, m int64, maxWindow int) error {
+	if bp.complete < 1 {
 		return nil
 	}
 	maxSC := map[int64]int64{}
 	sent := map[int64]map[int]int64{}
 	present := map[int64]map[int]bool{}
-	for _, ev := range rec.Events {
-		if ev.Round > complete {
+	for _, ev := range bp.events {
+		if ev.Round > bp.complete {
 			continue
 		}
 		if ev.Surplus > maxSC[ev.Round] {
@@ -104,8 +166,8 @@ func VerifyTrace(rec *core.TraceRecorder, m int64, maxWindow int) error {
 		sent[ev.Round][ev.Flow] += ev.Sent
 		present[ev.Round][ev.Flow] = true
 	}
-	for k := int64(1); k <= complete; k++ {
-		for n := int64(1); n <= int64(maxWindow) && k+n-1 <= complete; n++ {
+	for k := int64(1); k <= bp.complete; k++ {
+		for n := int64(1); n <= int64(maxWindow) && k+n-1 <= bp.complete; n++ {
 			lo, hi := ServiceBounds(n, k, maxSC, m)
 			// Only flows active in every round of the window — and
 			// never draining inside it — are covered by Theorem 2.
@@ -122,7 +184,7 @@ func VerifyTrace(rec *core.TraceRecorder, m int64, maxWindow int) error {
 				if !ok {
 					continue
 				}
-				if drainsWithin(rec, flow, k, k+n-1) {
+				if drainsWithin(bp.events, flow, k, k+n-1) {
 					continue
 				}
 				if N < lo || N > hi {
@@ -137,8 +199,8 @@ func VerifyTrace(rec *core.TraceRecorder, m int64, maxWindow int) error {
 
 // drainsWithin reports whether flow drained (left the active list)
 // during rounds [k, k2].
-func drainsWithin(rec *core.TraceRecorder, flow int, k, k2 int64) bool {
-	for _, ev := range rec.Events {
+func drainsWithin(events []core.RoundEvent, flow int, k, k2 int64) bool {
+	for _, ev := range events {
 		if ev.Flow == flow && ev.Left && ev.Round >= k && ev.Round <= k2 {
 			return true
 		}

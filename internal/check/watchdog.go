@@ -1,0 +1,61 @@
+package check
+
+// Watchdog detects deadlock and livelock: a system with backlog that
+// forwards nothing for Limit cycles is wedged — either a circular
+// channel-wait (deadlock, e.g. a dropped tail flit leaving a
+// downstream packet open forever) or starvation (livelock). The
+// watchdog only detects; the caller decides how to abort and what to
+// dump (the wormhole substrate offers Router.WaitEdges /
+// noc.Mesh.WaitGraph for the channel-wait graph).
+//
+// Usage: call Progress on every forwarded/delivered flit and Expired
+// once per cycle with the current backlog. Expired trips at most
+// once.
+type Watchdog struct {
+	// Limit is the no-progress budget in cycles.
+	Limit int64
+
+	last    int64
+	tripped bool
+}
+
+// NewWatchdog returns a watchdog with the given no-progress budget in
+// cycles. Size it generously: a legitimate transient stall (e.g. a
+// fault window, or a deep congestion tree draining) must fit under
+// the limit or the watchdog will cry wolf.
+func NewWatchdog(limit int64) *Watchdog {
+	if limit < 1 {
+		panic("check: watchdog limit < 1")
+	}
+	return &Watchdog{Limit: limit}
+}
+
+// Progress records that a flit moved at cycle.
+func (w *Watchdog) Progress(cycle int64) {
+	if cycle > w.last {
+		w.last = cycle
+	}
+}
+
+// Expired reports whether the watchdog trips at cycle given the
+// current backlog. An empty system cannot be wedged, so backlog == 0
+// resets the no-progress clock. Returns true only on the tripping
+// call; afterwards the watchdog stays Tripped but Expired returns
+// false, so the caller reports once.
+func (w *Watchdog) Expired(cycle, backlog int64) bool {
+	if w.tripped {
+		return false
+	}
+	if backlog <= 0 {
+		w.Progress(cycle)
+		return false
+	}
+	if cycle-w.last >= w.Limit {
+		w.tripped = true
+		return true
+	}
+	return false
+}
+
+// Tripped reports whether the watchdog has ever expired.
+func (w *Watchdog) Tripped() bool { return w.tripped }

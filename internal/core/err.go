@@ -243,6 +243,14 @@ func (e *ERR) CurrentFlow() int { return e.current }
 // flow currently in service, if any, is not on the list).
 func (e *ERR) ActiveFlows() int { return e.active.Len() }
 
+// IsActive reports whether the scheduler considers flow active: on
+// the ActiveList, or temporarily off it while in service. The
+// runtime invariant checker uses this to audit ActiveList membership
+// against queue backlog every cycle.
+func (e *ERR) IsActive(flow int) bool {
+	return flow == e.current || e.active.Contains(flow)
+}
+
 // HeadOfLineSafe implements sched.HeadOfLineArb: ERR reschedules a
 // flow itself when OnPacketDone reports remaining backlog, and never
 // needs packet lengths in advance, so it can arbitrate a wormhole

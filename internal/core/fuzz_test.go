@@ -19,6 +19,16 @@ func FuzzERRInvariants(f *testing.F) {
 	f.Add([]byte{0x01, 0x42, 0x10, 0xFF, 0x07, 0x23})
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x22, 0x33})
+	// Pathological patterns (see pathological_test.go): drain every
+	// flow then burst all four back at once...
+	f.Add([]byte{0x00, 0x02, 0x04, 0x06, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x00, 0x02, 0x04, 0x06})
+	// ...and one flow of maximum-size packets against length-1 rivals.
+	f.Add([]byte{0xF8, 0x02, 0x04, 0x01, 0x01, 0xF8, 0x02, 0x04, 0x01, 0x01, 0x01, 0x01})
+	// Fuzzer-found regression: two busy periods of the same single
+	// flow. The verifier must not merge the periods' same-numbered
+	// rounds when summing per-round service (the round counter resets
+	// when the system drains).
+	f.Add([]byte{0x30, 0x30, 0x30, 0x31, 0x31, 0x31, 0x30, 0x30, 0x30})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const flows = 4
 		e := core.New()

@@ -15,6 +15,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/flit"
 	"repro/internal/queue"
@@ -37,6 +38,19 @@ type StallFunc func(flow int) int
 
 // FlitStall implements StallModel.
 func (f StallFunc) FlitStall(flow int) int { return f(flow) }
+
+// CycleStallModel is an optional extension of StallModel for models
+// that need the current cycle — fault injectors stalling a link
+// during a configured window, time-varying congestion. When the
+// configured Stall implements it, the engine calls FlitStallAt
+// instead of FlitStall.
+type CycleStallModel interface {
+	StallModel
+	// FlitStallAt returns the stall cycles preceding the next flit of
+	// the given flow's current packet when that flit becomes eligible
+	// at the given cycle (>= 0).
+	FlitStallAt(flow int, cycle int64) int
+}
 
 // Config configures an Engine. Exactly one of Scheduler or FlitSched
 // must be set.
@@ -83,6 +97,13 @@ type Config struct {
 	// OnDeparture that lets an observer track the in-flight backlog
 	// without polling.
 	OnInject func(p flit.Packet, cycle int64)
+	// OnReject, if set, observes malformed packets refused at
+	// injection (zero-length, bad flow id) with the typed validation
+	// error. Rejected packets never enter a queue and never reach the
+	// scheduler; a nil OnReject simply drops them silently. Arrivals
+	// from a Source are validated the same way, so a fault-injected
+	// source degrades into counted rejections instead of a panic.
+	OnReject func(p flit.Packet, cycle int64, err error)
 }
 
 // Engine simulates the configured system cycle by cycle.
@@ -107,6 +128,10 @@ type Engine struct {
 	partialFlows int
 
 	backlogPackets int
+	// backlogFlits counts flits injected but not yet forwarded, so
+	// conservation audits (injected = forwarded + in flight) are O(1).
+	backlogFlits int64
+	rejected     int64
 }
 
 // NewEngine validates cfg and returns an engine.
@@ -150,6 +175,15 @@ func (e *Engine) QueueLen(flow int) int {
 // Cycle returns the current simulation cycle.
 func (e *Engine) Cycle() int64 { return e.cycle }
 
+// BacklogFlits returns the number of flits injected but not yet
+// forwarded (including the unsent remainder of any packet in
+// service) — the in-flight term of the flit-conservation invariant.
+func (e *Engine) BacklogFlits() int64 { return e.backlogFlits }
+
+// Rejected returns the number of malformed packets refused at
+// injection.
+func (e *Engine) Rejected() int64 { return e.rejected }
+
 // Backlog returns the number of packets not yet fully served
 // (including any in service).
 func (e *Engine) Backlog() int {
@@ -164,14 +198,23 @@ func (e *Engine) Backlog() int {
 	return n
 }
 
-// Inject adds a packet directly (used by tests and by the switch
-// substrate); the packet's Arrival and ID are stamped by the engine.
-func (e *Engine) Inject(p flit.Packet) {
-	if err := p.Validate(); err != nil {
-		panic(err)
+// Inject offers a packet to the engine (used by traffic sources,
+// tests and the switch substrate); the packet's Arrival and ID are
+// stamped by the engine. Malformed packets — zero-length, flow id
+// outside [0, Flows) — are rejected with a typed error (see
+// flit.ErrZeroLength, flit.ErrBadFlow), reported to OnReject, and
+// never reach a queue or the scheduler.
+func (e *Engine) Inject(p flit.Packet) error {
+	err := p.Validate()
+	if err == nil && p.Flow >= e.cfg.Flows {
+		err = fmt.Errorf("%w: flow %d >= %d flows", flit.ErrBadFlow, p.Flow, e.cfg.Flows)
 	}
-	if p.Flow >= e.cfg.Flows {
-		panic("engine: packet flow out of range")
+	if err != nil {
+		e.rejected++
+		if e.cfg.OnReject != nil {
+			e.cfg.OnReject(p, e.cycle, err)
+		}
+		return err
 	}
 	p.Arrival = e.cycle
 	p.ID = e.nextID
@@ -180,6 +223,7 @@ func (e *Engine) Inject(p flit.Packet) {
 	wasEmpty := q.Empty() && !e.flowBusy(p.Flow)
 	q.Push(p)
 	e.backlogPackets++
+	e.backlogFlits += int64(p.Length)
 	if s := e.cfg.Scheduler; s != nil {
 		s.OnArrival(p.Flow, wasEmpty)
 		if la, ok := s.(sched.LengthAware); ok {
@@ -191,6 +235,7 @@ func (e *Engine) Inject(p flit.Packet) {
 	if e.cfg.OnInject != nil {
 		e.cfg.OnInject(p, e.cycle)
 	}
+	return nil
 }
 
 // flowBusy reports whether flow has a packet mid-service.
@@ -252,6 +297,7 @@ func (e *Engine) stepPacketMode() {
 	}
 	// Forward one flit.
 	e.sentFlits++
+	e.backlogFlits--
 	if e.cfg.OnFlit != nil {
 		e.cfg.OnFlit(e.cycle, e.current.Flow)
 	}
@@ -287,6 +333,7 @@ func (e *Engine) stepFlitMode() {
 		e.partialFlows++
 	}
 	e.remaining[flow]--
+	e.backlogFlits--
 	if e.remaining[flow] == 0 {
 		e.partialFlows--
 	}
@@ -305,7 +352,12 @@ func (e *Engine) stall(flow int) int {
 	if e.cfg.Stall == nil {
 		return 0
 	}
-	s := e.cfg.Stall.FlitStall(flow)
+	var s int
+	if cs, ok := e.cfg.Stall.(CycleStallModel); ok {
+		s = cs.FlitStallAt(flow, e.cycle)
+	} else {
+		s = e.cfg.Stall.FlitStall(flow)
+	}
 	if s < 0 {
 		panic("engine: negative stall")
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -272,18 +273,23 @@ func TestInjectValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, p := range map[string]flit.Packet{
-		"zero length":  {Flow: 0, Length: 0},
-		"flow too big": {Flow: 5, Length: 1},
+	for name, tc := range map[string]struct {
+		p    flit.Packet
+		want error
+	}{
+		"zero length":  {flit.Packet{Flow: 0, Length: 0}, flit.ErrZeroLength},
+		"flow too big": {flit.Packet{Flow: 5, Length: 1}, flit.ErrBadFlow},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s accepted", name)
-				}
-			}()
-			e.Inject(p)
-		}()
+		if err := e.Inject(tc.p); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Inject err = %v, want %v", name, err, tc.want)
+		}
+	}
+	// Rejections are counted and leave the engine untouched.
+	if got := e.Rejected(); got != 2 {
+		t.Errorf("Rejected = %d, want 2", got)
+	}
+	if got := e.BacklogFlits(); got != 0 {
+		t.Errorf("BacklogFlits = %d after rejected injections, want 0", got)
 	}
 }
 

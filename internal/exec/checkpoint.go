@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+)
+
+// checkpointSchema is the header version of the checkpoint file
+// format; bump when a field changes meaning.
+const checkpointSchema = 1
+
+// Checkpoint is a JSONL record of completed job results, enabling
+// crash-resilient sweeps: Run (with WithCheckpoint) appends one line
+// per finished job, so a run killed at any point — SIGINT, OOM, power
+// — can be rerun with the same parameters and resume where it
+// stopped, re-running only the unfinished jobs. Results round-trip
+// through encoding/json, so the resumed aggregate output is
+// byte-identical to an uninterrupted run.
+//
+// The file starts with a header line carrying a caller-supplied grid
+// signature (see Signature); resuming against a checkpoint whose
+// signature differs — different experiment, parameters, or seed — is
+// refused, because mixing results from two grids would corrupt the
+// sweep silently.
+//
+// A Checkpoint is safe for concurrent use by Run's workers.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]json.RawMessage
+}
+
+type cpHeader struct {
+	Checkpoint int    `json:"checkpoint"`
+	Sig        string `json:"sig"`
+}
+
+type cpRecord struct {
+	Job    *int            `json:"job"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Signature derives a short stable grid signature from anything
+// json-encodable (typically the experiment name plus its parameter
+// struct). Two grids with different parameters get different
+// signatures, so a stale checkpoint cannot be resumed by accident.
+func Signature(parts ...any) (string, error) {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("exec: signature: %w", err)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint file at path.
+//
+// With resume false the file is truncated and a fresh header with the
+// given signature is written — any previous progress is discarded.
+//
+// With resume true an existing file is loaded: the header signature
+// must match sig exactly, every well-formed record line becomes a
+// completed-job result, and a torn final line (the process was killed
+// mid-write) is discarded. The file is then truncated past the last
+// whole record so subsequent appends are well-formed. A missing file
+// in resume mode is not an error — there is simply nothing to resume.
+func OpenCheckpoint(path, sig string, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{done: make(map[int]json.RawMessage)}
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exec: checkpoint: %w", err)
+	}
+	c.f = f
+	if resume {
+		validLen, err := c.loadAll(sig)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Drop any torn trailing line and position for appending.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exec: checkpoint: %w", err)
+		}
+		if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exec: checkpoint: %w", err)
+		}
+	}
+	if !c.headerWritten() {
+		if err := c.writeHeader(sig); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// headerWritten reports whether the underlying file already has
+// content (resume path kept a valid header).
+func (c *Checkpoint) headerWritten() bool {
+	off, err := c.f.Seek(0, io.SeekCurrent)
+	return err == nil && off > 0
+}
+
+func (c *Checkpoint) writeHeader(sig string) error {
+	b, err := json.Marshal(cpHeader{Checkpoint: checkpointSchema, Sig: sig})
+	if err != nil {
+		return fmt.Errorf("exec: checkpoint: %w", err)
+	}
+	if _, err := c.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("exec: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadAll parses the checkpoint file, fills c.done, and returns the
+// byte length of the valid prefix (header + whole records).
+func (c *Checkpoint) loadAll(sig string) (int64, error) {
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("exec: checkpoint: %w", err)
+	}
+	sc := bufio.NewScanner(c.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	var lines [][]byte
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("exec: checkpoint: %w", err)
+	}
+	if len(lines) == 0 {
+		return 0, nil // empty file: nothing to resume
+	}
+	var h cpHeader
+	if err := json.Unmarshal(lines[0], &h); err != nil || h.Checkpoint == 0 {
+		if len(lines) == 1 {
+			// The kill landed mid-header: no record was ever written,
+			// so the file is equivalent to empty.
+			return 0, nil
+		}
+		return 0, fmt.Errorf("exec: checkpoint: missing or malformed header (not a checkpoint file?)")
+	}
+	if h.Checkpoint != checkpointSchema {
+		return 0, fmt.Errorf("exec: checkpoint: schema %d, want %d", h.Checkpoint, checkpointSchema)
+	}
+	if h.Sig != sig {
+		return 0, fmt.Errorf("exec: checkpoint: grid signature %s does not match this run's %s (different experiment, parameters, or seed — pass a fresh checkpoint path or drop -resume)", h.Sig, sig)
+	}
+	validLen := int64(len(lines[0])) + 1 // +1 for the newline sc stripped
+	records := lines[1:]
+	for k, line := range records {
+		var rec cpRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Job == nil {
+			if k == len(records)-1 {
+				// A torn final line is the signature of a mid-write
+				// kill; the job simply re-runs.
+				break
+			}
+			return 0, fmt.Errorf("exec: checkpoint: malformed record mid-file (corrupt checkpoint)")
+		}
+		c.done[*rec.Job] = rec.Result
+		validLen += int64(len(line)) + 1
+	}
+	return validLen, nil
+}
+
+// Resumed returns the number of completed-job results loaded from
+// disk (0 for a fresh checkpoint).
+func (c *Checkpoint) Resumed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// load feeds a recorded result into dst, reporting whether job i was
+// recorded. An undecodable record counts as not recorded (the job
+// simply re-runs).
+func (c *Checkpoint) load(i int, dst any) bool {
+	c.mu.Lock()
+	raw, ok := c.done[i]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, dst) == nil
+}
+
+// record appends job i's result as one line. The single Write makes a
+// kill mid-record leave at most one torn final line, which resume
+// discards.
+func (c *Checkpoint) record(i int, v any) error {
+	res, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("exec: checkpoint: job %d result: %w", i, err)
+	}
+	line, err := json.Marshal(cpRecord{Job: &i, Result: res})
+	if err != nil {
+		return fmt.Errorf("exec: checkpoint: job %d: %w", i, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("exec: checkpoint: job %d: %w", i, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the checkpoint file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}

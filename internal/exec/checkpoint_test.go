@@ -1,0 +1,228 @@
+package exec
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// cpResult is a representative grid-job result: floats round-trip
+// encoding/json exactly, which is what makes resume byte-identical.
+type cpResult struct {
+	V float64
+	N int
+}
+
+func cpJobs(n int, ran *atomic.Int64) []Job[cpResult] {
+	jobs := make([]Job[cpResult], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (cpResult, error) {
+			if ran != nil {
+				ran.Add(1)
+			}
+			return cpResult{V: float64(i)*1.1 + 0.3, N: i * i}, nil
+		}
+	}
+	return jobs
+}
+
+func TestSignature(t *testing.T) {
+	a, err := Signature("grid", struct{ Seed int }{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Signature("grid", struct{ Seed int }{1})
+	c, _ := Signature("grid", struct{ Seed int }{2})
+	d, _ := Signature("other", struct{ Seed int }{1})
+	if a != b {
+		t.Error("identical parts produced different signatures")
+	}
+	if a == c || a == d {
+		t.Error("different parts produced the same signature")
+	}
+}
+
+func TestCheckpointFreshThenResumeSkipsJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	sig, _ := Signature("t", 1)
+
+	cp, err := OpenCheckpoint(path, sig, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(cpJobs(6, nil), 3, WithCheckpoint(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, sig, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if got := cp2.Resumed(); got != 6 {
+		t.Fatalf("Resumed() = %d, want 6", got)
+	}
+	// Poisoned jobs prove the pool uses the recorded results.
+	poisoned := make([]Job[cpResult], 6)
+	for i := range poisoned {
+		poisoned[i] = func() (cpResult, error) { return cpResult{}, errors.New("must not run") }
+	}
+	resumed, err := Run(poisoned, 3, WithCheckpoint(cp2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, resumed) {
+		t.Fatalf("resumed results differ:\n%v\nvs\n%v", first, resumed)
+	}
+}
+
+// TestCheckpointResumeByteIdentical simulates the acceptance scenario:
+// a sweep killed mid-run (checkpoint holds a prefix of the jobs plus a
+// torn final line) resumed to completion must produce aggregate output
+// byte-identical to an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	jobs := cpJobs(8, nil)
+	uninterrupted, err := Run(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(uninterrupted)
+
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	sig, _ := Signature("grid", 7)
+	cp, err := OpenCheckpoint(path, sig, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Kill" after three jobs: only a prefix is recorded.
+	if _, err := Run(jobs[:3], 1, WithCheckpoint(cp)); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	// A mid-write kill leaves a torn final line; resume must shrug it off.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"job":3,"resu`)
+	f.Close()
+
+	cp2, err := OpenCheckpoint(path, sig, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if got := cp2.Resumed(); got != 3 {
+		t.Fatalf("Resumed() = %d, want 3 (torn line discarded)", got)
+	}
+	var reran atomic.Int64
+	resumed, err := Run(cpJobs(8, &reran), 2, WithCheckpoint(cp2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reran.Load(); got != 5 {
+		t.Errorf("re-ran %d jobs, want 5 (three were checkpointed)", got)
+	}
+	gotJSON, _ := json.Marshal(resumed)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("resumed aggregate differs from uninterrupted run:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+}
+
+func TestCheckpointSignatureMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	sigA, _ := Signature("grid", 1)
+	sigB, _ := Signature("grid", 2)
+	cp, err := OpenCheckpoint(path, sigA, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cpJobs(2, nil), 1, WithCheckpoint(cp)); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	if _, err := OpenCheckpoint(path, sigB, true); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Fatalf("resume with a different signature: err = %v, want a signature-mismatch refusal", err)
+	}
+}
+
+func TestCheckpointCorruptMidFileRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	sig, _ := Signature("grid", 1)
+	cp, err := OpenCheckpoint(path, sig, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cpJobs(3, nil), 1, WithCheckpoint(cp)); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	// Corrupt a record in the middle (not the final line): that is not
+	// a mid-write kill, it is a damaged file, and must be refused.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("checkpoint has %d lines, want header + 3 records", len(lines))
+	}
+	lines[2] = `{"job": garbage`
+	os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+	if _, err := OpenCheckpoint(path, sig, true); err == nil || !strings.Contains(err.Error(), "mid-file") {
+		t.Fatalf("resume from corrupt file: err = %v, want a corrupt-checkpoint refusal", err)
+	}
+}
+
+func TestCheckpointSchemaMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	sig, _ := Signature("grid", 1)
+	os.WriteFile(path, []byte(`{"checkpoint":99,"sig":"`+sig+`"}`+"\n"), 0o644)
+	if _, err := OpenCheckpoint(path, sig, true); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("resume from future schema: err = %v, want a schema refusal", err)
+	}
+}
+
+func TestCheckpointResumeMissingOrTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	sig, _ := Signature("grid", 1)
+
+	// Missing file: nothing to resume, not an error.
+	cp, err := OpenCheckpoint(filepath.Join(dir, "missing.jsonl"), sig, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Resumed() != 0 {
+		t.Errorf("Resumed() = %d on a fresh file, want 0", cp.Resumed())
+	}
+	cp.Close()
+
+	// A kill mid-header leaves one torn line: equivalent to empty.
+	torn := filepath.Join(dir, "torn.jsonl")
+	os.WriteFile(torn, []byte(`{"checkpo`), 0o644)
+	cp2, err := OpenCheckpoint(torn, sig, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Resumed() != 0 {
+		t.Errorf("Resumed() = %d after torn header, want 0", cp2.Resumed())
+	}
+	cp2.Close()
+
+	// A non-checkpoint file must be refused, not silently truncated.
+	alien := filepath.Join(dir, "alien.jsonl")
+	os.WriteFile(alien, []byte("not json\nnot json either\n"), 0o644)
+	if _, err := OpenCheckpoint(alien, sig, true); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("resume from non-checkpoint file: err = %v, want a header refusal", err)
+	}
+}

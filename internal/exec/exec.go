@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job is one self-contained unit of work. A Job must own everything
@@ -49,6 +50,11 @@ type Option func(*options)
 
 type options struct {
 	progress Progress
+	retries  int
+	backoff  time.Duration
+	sleep    func(time.Duration)
+	timeout  time.Duration
+	cp       *Checkpoint
 }
 
 // WithProgress reports each job completion to p. It exists for the
@@ -57,6 +63,42 @@ type options struct {
 // progress is observed.
 func WithProgress(p Progress) Option {
 	return func(o *options) { o.progress = p }
+}
+
+// WithRetry re-runs a failing job up to retries additional times,
+// sleeping backoff, 2*backoff, 4*backoff, ... between attempts.
+// Simulation jobs are deterministic, so a retry only helps against
+// environmental failures (a checkpoint write hitting a full disk, an
+// OOM-killed helper); keep retries small. Result order and the
+// lowest-failing-index error contract are unchanged: a job that
+// exhausts its attempts fails with its final error.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(o *options) {
+		if retries < 0 {
+			retries = 0
+		}
+		o.retries = retries
+		o.backoff = backoff
+	}
+}
+
+// WithTimeout fails any single job that runs longer than d with a
+// *TimeoutError. The job's goroutine cannot be preempted and keeps
+// running detached (its result is discarded) — the point is that a
+// wedged job fails the sweep cleanly instead of hanging it forever.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// WithCheckpoint records every completed job's result to cp as one
+// JSON line, and skips jobs cp already holds a result for (loaded by
+// OpenCheckpoint in resume mode), feeding the recorded result back
+// instead of re-running. Because results round-trip through
+// encoding/json losslessly (float64 included), a killed sweep resumed
+// from its checkpoint produces byte-identical aggregate output. Job
+// result types must round-trip JSON (exported fields).
+func WithCheckpoint(cp *Checkpoint) Option {
+	return func(o *options) { o.cp = cp }
 }
 
 // Run executes jobs on up to workers goroutines (Workers(workers) of
@@ -71,7 +113,7 @@ func WithProgress(p Progress) Option {
 // larger indexes may or may not have run; their results must not be
 // used when Run returns an error.
 func Run[T any](jobs []Job[T], workers int, opts ...Option) ([]T, error) {
-	var o options
+	o := options{sleep: time.Sleep}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -79,14 +121,13 @@ func Run[T any](jobs []Job[T], workers int, opts ...Option) ([]T, error) {
 	results := make([]T, len(jobs))
 	if workers == 1 || len(jobs) <= 1 {
 		for i, job := range jobs {
-			r, err := job()
+			err := oneJob(&o, i, job, &results[i])
 			if o.progress != nil {
 				o.progress(i+1, len(jobs))
 			}
 			if err != nil {
 				return results, fmt.Errorf("exec: job %d: %w", i, err)
 			}
-			results[i] = r
 		}
 		return results, nil
 	}
@@ -112,7 +153,7 @@ func Run[T any](jobs []Job[T], workers int, opts ...Option) ([]T, error) {
 				if i >= len(jobs) || int64(i) > minFailed.Load() {
 					return
 				}
-				r, err := jobs[i]()
+				err := oneJob(&o, i, jobs[i], &results[i])
 				if o.progress != nil {
 					o.progress(int(done.Add(1)), len(jobs))
 				}
@@ -126,7 +167,6 @@ func Run[T any](jobs []Job[T], workers int, opts ...Option) ([]T, error) {
 					}
 					continue
 				}
-				results[i] = r
 			}
 		}()
 	}
@@ -138,4 +178,27 @@ func Run[T any](jobs []Job[T], workers int, opts ...Option) ([]T, error) {
 		}
 	}
 	return results, nil
+}
+
+// oneJob resolves job i into *dst: from the checkpoint when a result
+// is already recorded, else by running the job (with recovery, retry
+// and timeout per the options) and recording the result.
+func oneJob[T any](o *options, i int, job Job[T], dst *T) error {
+	if o.cp != nil && o.cp.load(i, dst) {
+		return nil
+	}
+	r, err := runJob(o, i, job)
+	if err != nil {
+		return err
+	}
+	if o.cp != nil {
+		// A checkpoint that cannot record is a failure: resuming from
+		// it would silently re-run (and possibly re-randomize) work
+		// the caller believes is saved.
+		if err := o.cp.record(i, r); err != nil {
+			return err
+		}
+	}
+	*dst = r
+	return nil
 }

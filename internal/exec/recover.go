@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// PanicError is the structured error a panicking job is converted to:
+// one buggy parameter point must not take down a thousand-job sweep,
+// so Run recovers every panic and reports it through the normal error
+// contract (lowest failing index) instead of crashing the process.
+type PanicError struct {
+	// Job is the submission index of the panicking job.
+	Job int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// TimeoutError reports a job that exceeded the WithTimeout budget.
+type TimeoutError struct {
+	// Job is the submission index of the job.
+	Job int
+	// Limit is the configured per-job budget.
+	Limit time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("job %d exceeded the %v timeout", e.Job, e.Limit)
+}
+
+// safeCall invokes the job with panic recovery.
+func safeCall[T any](i int, job Job[T]) (r T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Job: i, Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return job()
+}
+
+// callJob invokes the job with panic recovery and, when configured,
+// the per-job timeout. A timed-out job's goroutine is not killed — Go
+// cannot preempt it — so it runs to completion in the background and
+// its result is discarded; the timeout exists to fail a wedged sweep
+// (e.g. a deadlocked simulation without a watchdog) with a clean,
+// deterministic error instead of hanging forever.
+func callJob[T any](o *options, i int, job Job[T]) (T, error) {
+	if o.timeout <= 0 {
+		return safeCall(i, job)
+	}
+	type outcome struct {
+		r   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := safeCall(i, job)
+		ch <- outcome{r, err}
+	}()
+	t := time.NewTimer(o.timeout)
+	defer t.Stop()
+	select {
+	case out := <-ch:
+		return out.r, out.err
+	case <-t.C:
+		var zero T
+		return zero, &TimeoutError{Job: i, Limit: o.timeout}
+	}
+}
+
+// runJob runs one job through the full resilience pipeline: panic
+// recovery, timeout, and bounded retry with exponential backoff.
+func runJob[T any](o *options, i int, job Job[T]) (T, error) {
+	for attempt := 0; ; attempt++ {
+		r, err := callJob(o, i, job)
+		if err == nil || attempt >= o.retries {
+			return r, err
+		}
+		if o.backoff > 0 {
+			o.sleep(o.backoff << uint(attempt))
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunRecoversPanic is the regression test for the crash-resilience
+// contract: a panicking job must not take down the pool (or the
+// process) — it surfaces as a structured *PanicError through the
+// normal lowest-failing-index error path.
+func TestRunRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran [8]atomic.Bool
+		jobs := make([]Job[int], 8)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) {
+				ran[i].Store(true)
+				if i == 3 {
+					panic("boom")
+				}
+				return i, nil
+			}
+		}
+		_, err := Run(jobs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: Run succeeded, want a panic error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %v is not a *PanicError", workers, err)
+		}
+		if pe.Job != 3 || pe.Value != "boom" {
+			t.Errorf("workers=%d: PanicError = job %d value %v, want job 3 value boom", workers, pe.Job, pe.Value)
+		}
+		if pe.Stack == "" {
+			t.Errorf("workers=%d: PanicError carries no stack trace", workers)
+		}
+		// Every job below the failing index is guaranteed to have run.
+		for i := 0; i < 3; i++ {
+			if !ran[i].Load() {
+				t.Errorf("workers=%d: job %d below the failing index never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestWithRetryEventuallySucceeds(t *testing.T) {
+	var attempts atomic.Int64
+	jobs := []Job[string]{func() (string, error) {
+		if attempts.Add(1) < 3 {
+			return "", fmt.Errorf("transient")
+		}
+		return "ok", nil
+	}}
+	got, err := Run(jobs, 1, WithRetry(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "ok" || attempts.Load() != 3 {
+		t.Errorf("result %q after %d attempts, want ok after 3", got[0], attempts.Load())
+	}
+}
+
+func TestWithRetryExhaustedReportsFinalError(t *testing.T) {
+	var attempts atomic.Int64
+	sentinel := errors.New("still broken")
+	jobs := []Job[int]{func() (int, error) {
+		attempts.Add(1)
+		return 0, sentinel
+	}}
+	_, err := Run(jobs, 1, WithRetry(2, 0))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want the job's final error", err)
+	}
+	if attempts.Load() != 3 {
+		t.Errorf("job ran %d times, want 3 (initial + 2 retries)", attempts.Load())
+	}
+}
+
+func TestWithRetryRecoversFromPanic(t *testing.T) {
+	var attempts atomic.Int64
+	jobs := []Job[int]{func() (int, error) {
+		if attempts.Add(1) == 1 {
+			panic("once")
+		}
+		return 7, nil
+	}}
+	got, err := Run(jobs, 1, WithRetry(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || attempts.Load() != 2 {
+		t.Errorf("got %d after %d attempts, want 7 after 2", got[0], attempts.Load())
+	}
+}
+
+// TestRetryBackoffDoubles pins the backoff sequence without real
+// sleeping, using the internal hook Run wires to time.Sleep.
+func TestRetryBackoffDoubles(t *testing.T) {
+	var slept []time.Duration
+	o := &options{
+		retries: 3,
+		backoff: time.Millisecond,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	_, err := runJob(o, 0, func() (int, error) { return 0, errors.New("no") })
+	if err == nil {
+		t.Fatal("want the final error after exhausting retries")
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	jobs := []Job[int]{
+		func() (int, error) { return 1, nil },
+		func() (int, error) { <-block; return 2, nil },
+	}
+	_, err := Run(jobs, 1, WithTimeout(20*time.Millisecond))
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error = %v, want a *TimeoutError", err)
+	}
+	if te.Job != 1 || te.Limit != 20*time.Millisecond {
+		t.Errorf("TimeoutError = job %d limit %v, want job 1 limit 20ms", te.Job, te.Limit)
+	}
+}
+
+func TestWithTimeoutFastJobsPass(t *testing.T) {
+	jobs := make([]Job[int], 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) { return i, nil }
+	}
+	got, err := Run(jobs, 2, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i)
+		}
+	}
+}

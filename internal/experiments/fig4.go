@@ -43,6 +43,9 @@ type Fig4Params struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Robustness carries the fault-injection, invariant-checking and
+	// checkpoint/resume knobs.
+	Robustness
 }
 
 // DefaultFig4Params returns the paper's parameters (4 million
@@ -129,13 +132,16 @@ func RunFig4(p Fig4Params, panel string) (*Fig4Result, error) {
 	// sequence whatever the worker count.
 	jobs := make([]exec.Job[[]float64], len(runs))
 	for i, r := range runs {
-		r := r
+		i, r := i, r
 		jobs[i] = func() ([]float64, error) {
 			cfg := SimConfig{
 				Flows:     p.Flows,
 				Source:    fig4Source(p),
 				Cycles:    p.Cycles,
 				Collector: p.Collector,
+				FaultSpec: p.Faults,
+				FaultSeed: p.faultSeed(p.Seed, i),
+				Check:     p.Check,
 			}
 			if r.pkt != nil {
 				cfg.Scheduler = r.pkt()
@@ -153,7 +159,12 @@ func RunFig4(p Fig4Params, panel string) (*Fig4Result, error) {
 			return kb, nil
 		}
 	}
-	kbs, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
+	opts, closeCP, err := gridOptions("fig4", p, p.Checkpoint, p.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+	kbs, err := exec.Run(jobs, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,9 @@ type Fig5Params struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Robustness carries the fault-injection, invariant-checking and
+	// checkpoint/resume knobs.
+	Robustness
 }
 
 // DefaultFig5Params returns the paper's parameters.
@@ -123,8 +126,8 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 	// delay curves monotone at modest repeat counts (the arrival
 	// pattern is the same draw, only the rate scales).
 	type rep struct {
-		mean float64
-		ok   bool
+		Mean float64
+		OK   bool
 	}
 	idx := func(d, i, r int) int { return (d*len(p.Intensities)+i)*repeats + r }
 	jobs := make([]exec.Job[rep], len(mks)*len(p.Intensities)*repeats)
@@ -132,13 +135,17 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 		for i, intensity := range p.Intensities {
 			for r := 0; r < repeats; r++ {
 				m, i, intensity, r := m, i, intensity, r
-				jobs[idx(d, i, r)] = func() (rep, error) {
+				job := idx(d, i, r)
+				jobs[job] = func() (rep, error) {
 					cfg := SimConfig{
 						Flows:      p.Flows,
 						Source:     fig5Source(p, intensity, rng.Derive(p.Seed, uint64(r))),
 						Cycles:     p.BurstCycles,
 						DrainAfter: true,
 						Collector:  p.Collector,
+						FaultSpec:  p.Faults,
+						FaultSeed:  p.faultSeed(p.Seed, job),
+						Check:      p.Check,
 					}
 					if m.pkt != nil {
 						cfg.Scheduler = m.pkt()
@@ -152,12 +159,17 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 					if sim.Delays.Count() == 0 {
 						return rep{}, nil
 					}
-					return rep{mean: sim.Delays.Mean(), ok: true}, nil
+					return rep{Mean: sim.Delays.Mean(), OK: true}, nil
 				}
 			}
 		}
 	}
-	reps, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
+	opts, closeCP, err := gridOptions("fig5", p, p.Checkpoint, p.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+	reps, err := exec.Run(jobs, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -167,8 +179,8 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 		for i := range p.Intensities {
 			sum, count := 0.0, 0.0
 			for r := 0; r < repeats; r++ {
-				if v := reps[idx(d, i, r)]; v.ok {
-					sum += v.mean
+				if v := reps[idx(d, i, r)]; v.OK {
+					sum += v.Mean
 					count++
 				}
 			}

@@ -39,6 +39,9 @@ type Fig6Params struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Robustness carries the fault-injection, invariant-checking and
+	// checkpoint/resume knobs.
+	Robustness
 }
 
 // DefaultFig6Params returns the paper's parameters (4 million cycles,
@@ -86,7 +89,7 @@ func RunFig6(p Fig6Params) (*Fig6Result, error) {
 	jobs := make([]exec.Job[float64], 0, len(mks)*len(res.Flows))
 	for _, m := range mks {
 		for _, n := range res.Flows {
-			m, n := m, n
+			m, n, job := m, n, len(jobs)
 			jobs = append(jobs, func() (float64, error) {
 				src := rng.New(rng.Derive(p.Seed, uint64(n)))
 				var sources []traffic.Source
@@ -101,6 +104,9 @@ func RunFig6(p Fig6Params) (*Fig6Result, error) {
 					Cycles:    p.Cycles,
 					WithLog:   true,
 					Collector: p.Collector,
+					FaultSpec: p.Faults,
+					FaultSeed: p.faultSeed(p.Seed, job),
+					Check:     p.Check,
 				})
 				if err != nil {
 					return 0, err
@@ -110,7 +116,12 @@ func RunFig6(p Fig6Params) (*Fig6Result, error) {
 			})
 		}
 	}
-	avgs, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
+	opts, closeCP, err := gridOptions("fig6", p, p.Checkpoint, p.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+	avgs, err := exec.Run(jobs, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,9 @@ type Fig6ExtParams struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Robustness carries the fault-injection, invariant-checking and
+	// checkpoint/resume knobs.
+	Robustness
 }
 
 // DefaultFig6ExtParams returns defaults.
@@ -76,7 +79,7 @@ func RunFig6Ext(p Fig6ExtParams) (*Fig6ExtResult, error) {
 	for _, pl := range p.PLarges {
 		dist := rng.Bimodal{Short: p.Short, Long: p.Max, PShort: 1 - pl}
 		for _, mk := range mks {
-			mk := mk
+			mk, job := mk, len(jobs)
 			jobs = append(jobs, func() (float64, error) {
 				src := rng.New(p.Seed)
 				sources := make([]traffic.Source, p.Flows)
@@ -90,6 +93,9 @@ func RunFig6Ext(p Fig6ExtParams) (*Fig6ExtResult, error) {
 					Cycles:    p.Cycles,
 					WithLog:   true,
 					Collector: p.Collector,
+					FaultSpec: p.Faults,
+					FaultSeed: p.faultSeed(p.Seed, job),
+					Check:     p.Check,
 				})
 				if err != nil {
 					return 0, err
@@ -98,7 +104,12 @@ func RunFig6Ext(p Fig6ExtParams) (*Fig6ExtResult, error) {
 			})
 		}
 	}
-	fms, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
+	opts, closeCP, err := gridOptions("fig6ext", p, p.Checkpoint, p.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+	fms, err := exec.Run(jobs, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/traffic"
@@ -32,6 +33,9 @@ type GapParams struct {
 	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
 	// every value.
 	Workers int
+	// Robustness carries the fault-injection, invariant-checking and
+	// checkpoint/resume knobs.
+	Robustness
 }
 
 // DefaultGapParams returns defaults.
@@ -61,14 +65,15 @@ func RunGap(p GapParams) (*GapResult, error) {
 		{"WFQ", func() sched.Scheduler { return sched.NewWFQ(nil) }},
 	}
 	// One job per discipline, each building the identical backlogged
-	// workload from the shared seed.
+	// workload from the shared seed. Fields are exported so the result
+	// round-trips the JSONL checkpoint.
 	type gaps struct {
-		max  int64
-		mean float64
+		Max  int64
+		Mean float64
 	}
 	jobs := make([]exec.Job[gaps], len(mks))
 	for i, m := range mks {
-		m := m
+		i, m := i, m
 		jobs[i] = func() (gaps, error) {
 			src := rng.New(p.Seed)
 			sources := make([]traffic.Source, p.Flows)
@@ -80,7 +85,7 @@ func RunGap(p GapParams) (*GapResult, error) {
 			for f := range last {
 				last[f] = -1
 			}
-			e, err := engine.NewEngine(engine.Config{
+			cfg := engine.Config{
 				Flows:     p.Flows,
 				Scheduler: m.mk(),
 				Source:    traffic.NewMulti(sources...),
@@ -92,11 +97,22 @@ func RunGap(p GapParams) (*GapResult, error) {
 					}
 					last[flow] = cycle
 				},
-			})
+			}
+			inj, chk, err := applyRobustness(p.Robustness, p.faultSeed(p.Seed, i), &cfg)
 			if err != nil {
 				return gaps{}, err
 			}
-			e.Run(p.Cycles)
+			e, err := engine.NewEngine(cfg)
+			if err != nil {
+				return gaps{}, err
+			}
+			if chk != nil {
+				chk.Attach(e, cfg.Scheduler)
+			}
+			if err := runChecked(e, chk, p.Cycles); err != nil {
+				return gaps{}, err
+			}
+			registerFaultCounters(obs.Default(), inj.Counters(), e.Rejected())
 			var max int64
 			var sum float64
 			for _, w := range worst {
@@ -105,18 +121,23 @@ func RunGap(p GapParams) (*GapResult, error) {
 				}
 				sum += float64(w)
 			}
-			return gaps{max: max, mean: sum / float64(p.Flows)}, nil
+			return gaps{Max: max, Mean: sum / float64(p.Flows)}, nil
 		}
 	}
-	results, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
+	opts, closeCP, err := gridOptions("gap", p, p.Checkpoint, p.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+	results, err := exec.Run(jobs, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}
 	res := &GapResult{Params: p}
 	for i, m := range mks {
 		res.Disciplines = append(res.Disciplines, m.name)
-		res.MaxGap = append(res.MaxGap, results[i].max)
-		res.MeanWorst = append(res.MeanWorst, results[i].mean)
+		res.MaxGap = append(res.MaxGap, results[i].Max)
+		res.MeanWorst = append(res.MeanWorst, results[i].Mean)
 	}
 	return res, nil
 }

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -37,6 +40,13 @@ type NoCSweepParams struct {
 	// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for
 	// every value: each point derives its own seed with rng.Derive.
 	Workers int
+	// Robustness carries the fault-injection, invariant-checking and
+	// checkpoint/resume knobs. Router-scoped fault directives
+	// (router=/port=) address mesh nodes and their five output ports;
+	// with Check set, every ejection sink validates wormhole flit
+	// streams and a deadlock watchdog dumps the channel-wait graph on
+	// a stall.
+	Robustness
 }
 
 // DefaultNoCSweepParams returns defaults for a 4x4 mesh.
@@ -71,13 +81,15 @@ func RunNoCSweep(p NoCSweepParams) (*NoCSweepResult, error) {
 	}
 	// One job per discipline × injection rate; a point's seed depends
 	// only on the rate index so both arbiters face the same traffic.
+	// Fields are exported so the result round-trips the JSONL
+	// checkpoint.
 	type point struct {
-		lat, del float64
+		Lat, Del float64
 	}
 	jobs := make([]exec.Job[point], 0, len(mks)*len(p.Rates))
 	for _, m := range mks {
 		for i, rate := range p.Rates {
-			m, i, rate := m, i, rate
+			m, i, rate, job := m, i, rate, len(jobs)
 			jobs = append(jobs, func() (point, error) {
 				mesh, err := noc.NewMesh(noc.Config{
 					K: p.K, VCs: p.VCs, BufFlits: p.BufFlits,
@@ -86,6 +98,32 @@ func RunNoCSweep(p NoCSweepParams) (*NoCSweepResult, error) {
 				if err != nil {
 					return point{}, err
 				}
+				spec, err := fault.Parse(p.Faults)
+				if err != nil {
+					return point{}, err
+				}
+				finj := fault.New(spec, p.faultSeed(p.Seed, job))
+				mesh.InstallFaults(finj)
+				var rec *check.Recorder
+				var wd *check.Watchdog
+				if p.Check {
+					rec = check.NewRecorder()
+					rec.Register(obs.Default())
+					mesh.CheckStreams(rec)
+					wd = check.NewWatchdog((&SimConfig{}).watchdogLimit(spec))
+					mesh.WatchProgress(wd)
+				}
+				// wedged flags a mesh that holds flits but delivers
+				// nothing for the watchdog budget — the wormhole
+				// deadlock signature — and dumps who waits on what.
+				wedged := func() error {
+					if wd == nil || !wd.Expired(mesh.Cycle(), int64(mesh.InFlight())) {
+						return nil
+					}
+					return fmt.Errorf("experiments: nocsweep wedged at cycle %d (%d flits in flight, no delivery for %d cycles); channel-wait graph:\n%s",
+						mesh.Cycle(), mesh.InFlight(), wd.Limit,
+						noc.FormatWaitGraph(mesh.WaitGraph(mesh.Cycle()), 16))
+				}
 				src := rng.New(rng.Derive(p.Seed, uint64(i)))
 				inj := noc.NewInjector(mesh, rate, noc.Uniform{Nodes: mesh.Nodes()},
 					rng.NewUniform(p.MinLen, p.MaxLen), src)
@@ -93,17 +131,40 @@ func RunNoCSweep(p NoCSweepParams) (*NoCSweepResult, error) {
 				for c := int64(0); c < p.WarmCycles; c++ {
 					inj.Step()
 					mesh.Step()
+					if err := wedged(); err != nil {
+						return point{}, err
+					}
 				}
-				mesh.Drain(20 * p.WarmCycles)
+				if wd == nil {
+					mesh.Drain(20 * p.WarmCycles)
+				} else {
+					for c := int64(0); c < 20*p.WarmCycles && mesh.InFlight() > 0; c++ {
+						mesh.Step()
+						if err := wedged(); err != nil {
+							return point{}, err
+						}
+					}
+				}
+				registerFaultCounters(obs.Default(), finj.Counters(), 0)
+				if rec != nil {
+					if err := rec.Err(); err != nil {
+						return point{}, fmt.Errorf("experiments: nocsweep failed invariant checking: %w", err)
+					}
+				}
 				var d int64
 				for n := 0; n < mesh.Nodes(); n++ {
 					d += mesh.DeliveredPackets[n]
 				}
-				return point{lat: mesh.Latency.Mean(), del: float64(d)}, nil
+				return point{Lat: mesh.Latency.Mean(), Del: float64(d)}, nil
 			})
 		}
 	}
-	points, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
+	opts, closeCP, err := gridOptions("nocsweep", p, p.Checkpoint, p.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+	points, err := exec.Run(jobs, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +174,7 @@ func RunNoCSweep(p NoCSweepParams) (*NoCSweepResult, error) {
 		dels := make([]float64, len(p.Rates))
 		for i := range p.Rates {
 			pt := points[d*len(p.Rates)+i]
-			lats[i], dels[i] = pt.lat, pt.del
+			lats[i], dels[i] = pt.Lat, pt.Del
 		}
 		res.Disciplines = append(res.Disciplines, m.name)
 		res.Latency = append(res.Latency, lats)

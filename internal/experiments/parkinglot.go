@@ -5,9 +5,13 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/flit"
+	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/wormhole"
 )
@@ -36,6 +40,13 @@ type ParkingLotParams struct {
 	// variants (0 = GOMAXPROCS, 1 = serial). The result is
 	// byte-identical for every value.
 	Workers int
+	// Seed seeds the fault injector's randomness (the workload itself
+	// is deterministic).
+	Seed uint64
+	// Robustness carries the fault-injection, invariant-checking and
+	// checkpoint/resume knobs. Router-scoped directives address chain
+	// switches 0..Hops-1; port 0 is the through/sink output.
+	Robustness
 }
 
 // DefaultParkingLotParams returns defaults.
@@ -58,7 +69,12 @@ func RunParkingLot(p ParkingLotParams) (*ParkingLotResult, error) {
 	if p.Hops < 2 {
 		return nil, fmt.Errorf("experiments: parking lot needs >= 2 hops")
 	}
-	run := func(weighted bool) ([]float64, error) {
+	run := func(weighted bool, job int) ([]float64, error) {
+		spec, err := fault.Parse(p.Faults)
+		if err != nil {
+			return nil, err
+		}
+		finj := fault.New(spec, p.faultSeed(p.Seed, job))
 		routers := make([]*wormhole.Router, p.Hops)
 		for i := 0; i < p.Hops; i++ {
 			i := i
@@ -87,6 +103,14 @@ func RunParkingLot(p ParkingLotParams) (*ParkingLotResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			if f := finj.FreezeFunc(i); f != nil {
+				r.SetFreeze(f)
+			}
+			for port := 0; port < 2; port++ {
+				if f := finj.OutputFault(i, port); f != nil {
+					r.SetOutputFault(port, f)
+				}
+			}
 			routers[i] = r
 		}
 		for i := 0; i+1 < p.Hops; i++ {
@@ -100,6 +124,21 @@ func RunParkingLot(p ParkingLotParams) (*ParkingLotResult, error) {
 		served := make([]int64, p.Hops)
 		sink.OnFlit = func(f flit.Flit, vc int, cycle int64) { served[f.Flow]++ }
 		wormhole.ConnectEndpoint(routers[p.Hops-1], 0, sink)
+
+		var rec *check.Recorder
+		var wd *check.Watchdog
+		if p.Check {
+			rec = check.NewRecorder()
+			rec.Register(obs.Default())
+			stream := check.NewFlitStream(rec, "parking-lot sink")
+			prev := sink.OnFlit
+			sink.OnFlit = func(f flit.Flit, vc int, cycle int64) {
+				stream.Observe(f, cycle)
+				wd.Progress(cycle)
+				prev(f, vc, cycle)
+			}
+			wd = check.NewWatchdog((&SimConfig{}).watchdogLimit(spec))
+		}
 
 		// Backlogged sources: source i injects at router i, port 1.
 		pending := make([][]flit.Flit, p.Hops)
@@ -119,6 +158,22 @@ func RunParkingLot(p ParkingLotParams) (*ParkingLotResult, error) {
 			for _, r := range routers {
 				r.Step(c)
 			}
+			// The sources are permanently backlogged, so the sink going
+			// silent for the watchdog budget means the chain is wedged.
+			if wd != nil && wd.Expired(c, 1) {
+				var edges []wormhole.WaitEdge
+				for _, r := range routers {
+					edges = append(edges, r.WaitEdges(c)...)
+				}
+				return nil, fmt.Errorf("experiments: parking lot wedged at cycle %d (no delivery for %d cycles); channel-wait graph:\n%s",
+					c, wd.Limit, noc.FormatWaitGraph(edges, 16))
+			}
+		}
+		registerFaultCounters(obs.Default(), finj.Counters(), 0)
+		if rec != nil {
+			if err := rec.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: parking lot failed invariant checking: %w", err)
+			}
 		}
 		var total int64
 		for _, s := range served {
@@ -132,10 +187,15 @@ func RunParkingLot(p ParkingLotParams) (*ParkingLotResult, error) {
 	}
 	// The two arbitration variants are independent chains — run them
 	// as two jobs.
+	opts, closeCP, err := gridOptions("parkinglot", p, p.Checkpoint, p.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
 	shares, err := exec.Run([]exec.Job[[]float64]{
-		func() ([]float64, error) { return run(false) },
-		func() ([]float64, error) { return run(true) },
-	}, p.Workers, exec.WithProgress(p.Progress))
+		func() ([]float64, error) { return run(false, 0) },
+		func() ([]float64, error) { return run(true, 1) },
+	}, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}

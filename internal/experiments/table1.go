@@ -10,6 +10,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -87,13 +88,15 @@ func RunTable1(p Table1Params) (*Table1Result, error) {
 	// One job per discipline, all on the identical workload; the
 	// measured FM and the largest arrived packet reduce in submission
 	// order afterwards (m is a max, so it is order-independent anyway).
+	// Fields are exported so the result round-trips the JSONL
+	// checkpoint.
 	type disc struct {
-		fm     int64
-		maxLen int64
+		FM     int64
+		MaxLen int64
 	}
 	jobs := make([]exec.Job[disc], len(mks))
 	for i, m := range mks {
-		m := m
+		i, m := i, m
 		jobs[i] = func() (disc, error) {
 			ft := metrics.NewFairnessTracker(p.Fig4.Flows)
 			var maxLen int64
@@ -117,27 +120,42 @@ func RunTable1(p Table1Params) (*Table1Result, error) {
 			} else {
 				cfg.FlitSched = m.flit()
 			}
+			inj, chk, err := applyRobustness(p.Fig4.Robustness, p.Fig4.faultSeed(p.Fig4.Seed, i), &cfg)
+			if err != nil {
+				return disc{}, err
+			}
 			e, err := engine.NewEngine(cfg)
 			if err != nil {
 				return disc{}, err
 			}
-			e.Run(p.Fig4.Cycles)
-			return disc{fm: ft.FM(), maxLen: maxLen}, nil
+			if chk != nil {
+				chk.Attach(e, cfg.Scheduler)
+			}
+			if err := runChecked(e, chk, p.Fig4.Cycles); err != nil {
+				return disc{}, err
+			}
+			registerFaultCounters(obs.Default(), inj.Counters(), e.Rejected())
+			return disc{FM: ft.FM(), MaxLen: maxLen}, nil
 		}
 	}
-	discs, err := exec.Run(jobs, p.Workers, exec.WithProgress(p.Progress))
+	opts, closeCP, err := gridOptions("table1", p, p.Fig4.Checkpoint, p.Fig4.Resume, p.Progress)
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+	discs, err := exec.Run(jobs, p.Workers, opts...)
 	if err != nil {
 		return nil, err
 	}
 	res := &Table1Result{Params: p, Max: 128}
 	for i, m := range mks {
-		if discs[i].maxLen > res.M {
-			res.M = discs[i].maxLen
+		if discs[i].MaxLen > res.M {
+			res.M = discs[i].MaxLen
 		}
 		res.Rows = append(res.Rows, Table1Row{
 			Discipline:    m.name,
 			FairnessBound: m.bound,
-			MeasuredFM:    discs[i].fm,
+			MeasuredFM:    discs[i].FM,
 			Complexity:    m.complexity,
 		})
 	}

@@ -35,6 +35,11 @@ type WeightedParams struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Robustness carries the fault-injection and invariant-checking
+	// knobs. Checkpointing is not supported here: the experiment is a
+	// single simulation whose raw result does not round-trip JSON, and
+	// there is no grid to resume.
+	Robustness
 }
 
 // DefaultWeightedParams returns defaults.
@@ -61,6 +66,9 @@ func RunWeighted(p WeightedParams) (*WeightedResult, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("experiments: weighted run needs >= 2 classes")
 	}
+	if p.Checkpoint != "" {
+		return nil, fmt.Errorf("experiments: weighted run does not support checkpointing (single simulation, nothing to resume)")
+	}
 	sims, err := exec.Run([]exec.Job[*SimResult]{func() (*SimResult, error) {
 		e := core.NewWeighted(func(f int) int64 { return p.Weights[f] })
 		src := rng.New(p.Seed)
@@ -74,6 +82,9 @@ func RunWeighted(p WeightedParams) (*WeightedResult, error) {
 			Source:    traffic.NewMulti(sources...),
 			Cycles:    p.Cycles,
 			Collector: p.Collector,
+			FaultSpec: p.Faults,
+			FaultSeed: p.faultSeed(p.Seed, 0),
+			Check:     p.Check,
 		})
 	}}, p.Workers, exec.WithProgress(p.Progress))
 	if err != nil {

@@ -1,0 +1,209 @@
+// Package fault provides deterministic, seed-derived fault injection
+// for the simulators: transient and permanent link stalls, router
+// freezes, flit corruption and loss, and malformed-packet traffic.
+// The paper's guarantees (Lemma 1, Theorem 3) are proved for a
+// fault-free switch; this package manufactures exactly the failures a
+// production wormhole network must survive — a stalled downstream
+// link holding channels hostage, a wedged switch ASIC, a flaky wire —
+// so the invariant checker (package check) can verify that the
+// scheduler keeps its bounds and the system keeps making progress, or
+// report precisely where it stopped.
+//
+// Faults are configured with a textual spec (the -faults flag of
+// cmd/errsim, cmd/nocsim and cmd/switchsim):
+//
+//	spec      := directive ( ';' directive )*
+//	directive := kind '(' key '=' value ( ',' key '=' value )* ')'
+//
+// Directives (keys in any order; unlisted keys take the defaults):
+//
+//	stall(at=C, dur=D, flow=F, port=P)
+//	    Link stall: nothing traverses the link during [at, at+dur).
+//	    dur=0 (the default) means permanent. In the single-server
+//	    engine, flow=F stalls only packets of that flow (flow=-1, the
+//	    default, stalls every flow); in a wormhole router the stall
+//	    applies to output port P (port=-1 = every output).
+//	freeze(router=R, at=C, dur=D)
+//	    Router freeze: router R (router=-1 = every router) does
+//	    nothing during [at, at+dur); dur=0 means permanent.
+//	drop(p=X, port=P)
+//	    Each flit traversing output port P (or any port, when -1) is
+//	    lost in transit with probability X.
+//	corrupt(p=X, port=P)
+//	    Each delivered flit has its kind mutated with probability X
+//	    (Body->Tail, Tail->Body, Head->Body — premature tails, missing
+//	    tails, lost heads).
+//	malformed(p=X, kind=K)
+//	    The traffic source additionally emits, each cycle with
+//	    probability X, a malformed packet of kind K: "zerolen" (no
+//	    flits), "badflow" (unroutable flow id), "notail" (flit stream
+//	    ends without a tail), "duphead" (a second head mid-packet).
+//	    Injection points must reject or survive them.
+//
+// All randomness is drawn from streams derived with rng.Derive from
+// the experiment seed, so a faulted run is exactly as repeatable as a
+// clean one.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Malformed-packet kinds accepted by the malformed(...) directive.
+const (
+	MalformedZeroLen = "zerolen"
+	MalformedBadFlow = "badflow"
+	MalformedNoTail  = "notail"
+	MalformedDupHead = "duphead"
+)
+
+// Directive is one parsed fault directive.
+type Directive struct {
+	// Kind is "stall", "freeze", "drop", "corrupt" or "malformed".
+	Kind string
+	// Flow restricts an engine-mode stall to one flow (-1 = all).
+	Flow int
+	// Port restricts a router-mode fault to one output port (-1 = all).
+	Port int
+	// Router restricts a freeze to one router id (-1 = all).
+	Router int
+	// At is the first faulty cycle of a stall/freeze window.
+	At int64
+	// Dur is the window length in cycles; 0 means permanent.
+	Dur int64
+	// P is the per-event probability of drop/corrupt/malformed.
+	P float64
+	// MKind is the malformed-packet kind.
+	MKind string
+}
+
+// active reports whether a windowed directive is live at cycle.
+func (d Directive) active(cycle int64) bool {
+	if cycle < d.At {
+		return false
+	}
+	return d.Dur == 0 || cycle < d.At+d.Dur
+}
+
+// Spec is a parsed fault specification.
+type Spec struct {
+	Directives []Directive
+	// Source is the textual form the spec was parsed from.
+	Source string
+}
+
+// Parse parses a fault spec. An empty string yields a nil Spec (no
+// faults), which every injector constructor accepts.
+func Parse(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{Source: s}
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		d, err := parseDirective(raw)
+		if err != nil {
+			return nil, err
+		}
+		spec.Directives = append(spec.Directives, d)
+	}
+	if len(spec.Directives) == 0 {
+		return nil, fmt.Errorf("fault: empty spec %q", s)
+	}
+	return spec, nil
+}
+
+func parseDirective(raw string) (Directive, error) {
+	d := Directive{Flow: -1, Port: -1, Router: -1, MKind: MalformedZeroLen}
+	open := strings.IndexByte(raw, '(')
+	if open < 0 || !strings.HasSuffix(raw, ")") {
+		return d, fmt.Errorf("fault: directive %q is not kind(key=value,...)", raw)
+	}
+	d.Kind = strings.TrimSpace(raw[:open])
+	switch d.Kind {
+	case "stall", "freeze", "drop", "corrupt", "malformed":
+	default:
+		return d, fmt.Errorf("fault: unknown directive kind %q", d.Kind)
+	}
+	body := raw[open+1 : len(raw)-1]
+	for _, kv := range strings.Split(body, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return d, fmt.Errorf("fault: %s: argument %q is not key=value", d.Kind, kv)
+		}
+		key, val := strings.TrimSpace(kv[:eq]), strings.TrimSpace(kv[eq+1:])
+		var err error
+		switch key {
+		case "flow":
+			d.Flow, err = strconv.Atoi(val)
+		case "port":
+			d.Port, err = strconv.Atoi(val)
+		case "router":
+			d.Router, err = strconv.Atoi(val)
+		case "at":
+			d.At, err = strconv.ParseInt(val, 10, 64)
+		case "dur":
+			d.Dur, err = strconv.ParseInt(val, 10, 64)
+		case "p":
+			d.P, err = strconv.ParseFloat(val, 64)
+			if err == nil && (d.P < 0 || d.P > 1) {
+				err = fmt.Errorf("probability %v outside [0,1]", d.P)
+			}
+		case "kind":
+			switch val {
+			case MalformedZeroLen, MalformedBadFlow, MalformedNoTail, MalformedDupHead:
+				d.MKind = val
+			default:
+				err = fmt.Errorf("unknown malformed kind %q", val)
+			}
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return d, fmt.Errorf("fault: %s: key %q: %v", d.Kind, key, err)
+		}
+	}
+	switch d.Kind {
+	case "drop", "corrupt", "malformed":
+		if d.P <= 0 {
+			return d, fmt.Errorf("fault: %s requires p > 0", d.Kind)
+		}
+	case "stall", "freeze":
+		if d.At < 0 || d.Dur < 0 {
+			return d, fmt.Errorf("fault: %s window must have at >= 0, dur >= 0", d.Kind)
+		}
+	}
+	return d, nil
+}
+
+// String returns the textual form the spec was parsed from.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	return s.Source
+}
+
+// only returns the directives of one kind.
+func (s *Spec) only(kind string) []Directive {
+	if s == nil {
+		return nil
+	}
+	var out []Directive
+	for _, d := range s.Directives {
+		if d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}

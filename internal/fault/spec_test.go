@@ -1,0 +1,98 @@
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestParseEmptySpecIsNil(t *testing.T) {
+	for _, s := range []string{"", "   ", "\t\n"} {
+		spec, err := fault.Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if spec != nil {
+			t.Fatalf("Parse(%q) = %+v, want nil", s, spec)
+		}
+	}
+	// A nil spec formats as the empty string.
+	var nilSpec *fault.Spec
+	if got := nilSpec.String(); got != "" {
+		t.Fatalf("nil Spec String() = %q, want empty", got)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	spec, err := fault.Parse("drop(p=0.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Directives) != 1 {
+		t.Fatalf("got %d directives, want 1", len(spec.Directives))
+	}
+	d := spec.Directives[0]
+	want := fault.Directive{Kind: "drop", Flow: -1, Port: -1, Router: -1, P: 0.5, MKind: fault.MalformedZeroLen}
+	if d != want {
+		t.Fatalf("directive = %+v, want %+v", d, want)
+	}
+}
+
+func TestParseFullSpec(t *testing.T) {
+	src := "stall(flow=2, at=100, dur=50); freeze(router=3,at=7); malformed(kind=duphead,p=0.25); corrupt(p=0.1,port=1); drop(p=1,router=2,port=4)"
+	spec, err := fault.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.String(); got != strings.TrimSpace(src) {
+		t.Errorf("String() = %q, want the source text", got)
+	}
+	want := []fault.Directive{
+		{Kind: "stall", Flow: 2, Port: -1, Router: -1, At: 100, Dur: 50, MKind: fault.MalformedZeroLen},
+		{Kind: "freeze", Flow: -1, Port: -1, Router: 3, At: 7, MKind: fault.MalformedZeroLen},
+		{Kind: "malformed", Flow: -1, Port: -1, Router: -1, P: 0.25, MKind: fault.MalformedDupHead},
+		{Kind: "corrupt", Flow: -1, Port: 1, Router: -1, P: 0.1, MKind: fault.MalformedZeroLen},
+		{Kind: "drop", Flow: -1, Port: 4, Router: 2, P: 1, MKind: fault.MalformedZeroLen},
+	}
+	if len(spec.Directives) != len(want) {
+		t.Fatalf("got %d directives, want %d", len(spec.Directives), len(want))
+	}
+	for i, d := range spec.Directives {
+		if d != want[i] {
+			t.Errorf("directive %d = %+v, want %+v", i, d, want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // required substring of the error
+	}{
+		{"bogus(p=1)", "unknown directive kind"},
+		{"stall", "not kind(key=value,...)"},
+		{"stall(at)", "not key=value"},
+		{"stall(at=x)", `key "at"`},
+		{"stall(at=-1)", "at >= 0"},
+		{"stall(dur=-2)", "dur >= 0"},
+		{"drop()", "requires p > 0"},
+		{"drop(p=0)", "requires p > 0"},
+		{"drop(p=1.5)", "outside [0,1]"},
+		{"drop(p=-0.1)", "outside [0,1]"},
+		{"corrupt(p=0)", "requires p > 0"},
+		{"malformed(kind=weird,p=0.5)", "unknown malformed kind"},
+		{"malformed(p=0.5,turbo=1)", "unknown key"},
+		{";", "empty spec"},
+	}
+	for _, c := range cases {
+		_, err := fault.Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}

@@ -11,7 +11,10 @@
 // disciplines that must not use it.
 package flit
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Kind identifies a flit's position within its packet.
 type Kind uint8
@@ -125,13 +128,94 @@ func kindAt(i, length int) Kind {
 	}
 }
 
+// Typed validation errors. Injection points (engine.Inject, the NoC
+// injector, the test harness) reject malformed packets with one of
+// these instead of panicking, so a fault-injected or adversarial
+// source degrades into counted rejections rather than a crash. Match
+// with errors.Is.
+var (
+	// ErrZeroLength marks a packet with no flits (Length < 1).
+	ErrZeroLength = errors.New("flit: packet length < 1")
+	// ErrBadFlow marks a negative (or otherwise unroutable) flow id.
+	ErrBadFlow = errors.New("flit: bad flow id")
+	// ErrMissingTail marks a flit sequence that ends without a tail.
+	ErrMissingTail = errors.New("flit: missing tail flit")
+	// ErrDuplicateHead marks a head flit arriving inside an open packet.
+	ErrDuplicateHead = errors.New("flit: duplicate head flit")
+	// ErrBadSequence marks out-of-order, mixed-packet, or truncated
+	// flit sequences.
+	ErrBadSequence = errors.New("flit: bad flit sequence")
+)
+
 // Validate reports whether the packet is well formed.
 func (p Packet) Validate() error {
 	if p.Length < 1 {
-		return fmt.Errorf("flit: packet length %d < 1", p.Length)
+		return fmt.Errorf("%w: length %d", ErrZeroLength, p.Length)
 	}
 	if p.Flow < 0 {
-		return fmt.Errorf("flit: negative flow id %d", p.Flow)
+		return fmt.Errorf("%w: flow %d", ErrBadFlow, p.Flow)
+	}
+	return nil
+}
+
+// FlitsChecked materialises the packet as a slice of flits after
+// validating it, returning a typed error for malformed packets where
+// Flits would silently yield an empty slice (zero-length) or flits
+// with a negative flow id.
+func (p Packet) FlitsChecked() ([]Flit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.Flits(), nil
+}
+
+// ValidateFlits checks that a flit sequence forms exactly the
+// well-formed packets a wormhole channel may carry: each packet opens
+// with a Head (or is a single HeadTail), continues with Body flits of
+// the same packet in Seq order, and closes with its Tail — no
+// interleaving, no duplicate heads, no missing tails. It returns nil
+// for an empty sequence and a typed error (ErrMissingTail,
+// ErrDuplicateHead, ErrBadSequence, ErrBadFlow) naming the offending
+// index otherwise. This is the oracle the invariant checker applies
+// to delivered flit streams.
+func ValidateFlits(fs []Flit) error {
+	open := false     // inside a packet (head seen, tail pending)
+	var id int64      // PktID of the open packet
+	var flow, seq int // flow and next expected Seq of the open packet
+	for i, f := range fs {
+		if f.Flow < 0 {
+			return fmt.Errorf("%w: flit %d flow %d", ErrBadFlow, i, f.Flow)
+		}
+		switch f.Kind {
+		case HeadTail:
+			if open {
+				return fmt.Errorf("%w: flit %d opens a packet while packet %d is open", ErrDuplicateHead, i, id)
+			}
+		case Head:
+			if open {
+				return fmt.Errorf("%w: flit %d opens a packet while packet %d is open", ErrDuplicateHead, i, id)
+			}
+			open, id, flow, seq = true, f.PktID, f.Flow, 1
+		case Body, Tail:
+			if !open {
+				return fmt.Errorf("%w: flit %d (%v) without a head", ErrBadSequence, i, f.Kind)
+			}
+			if f.PktID != id || f.Flow != flow {
+				return fmt.Errorf("%w: flit %d belongs to packet %d, expected %d", ErrBadSequence, i, f.PktID, id)
+			}
+			if f.Seq != seq {
+				return fmt.Errorf("%w: flit %d has seq %d, expected %d", ErrBadSequence, i, f.Seq, seq)
+			}
+			seq++
+			if f.Kind == Tail {
+				open = false
+			}
+		default:
+			return fmt.Errorf("%w: flit %d has unknown kind %d", ErrBadSequence, i, uint8(f.Kind))
+		}
+	}
+	if open {
+		return fmt.Errorf("%w: packet %d still open at end of sequence", ErrMissingTail, id)
 	}
 	return nil
 }

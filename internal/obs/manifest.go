@@ -56,6 +56,14 @@ type Manifest struct {
 	// CyclesPerSec is Cycles / WallSeconds — the sweep's aggregate
 	// simulation throughput across all workers.
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// FaultSpec is the fault-injection directive string the run was
+	// executed under ("" = fault-free); per-kind fault counts appear
+	// in Metrics as the fault.* counters.
+	FaultSpec string `json:"fault_spec,omitempty"`
+	// Violations is the number of invariant violations the runtime
+	// checker recorded (only meaningful when checking was enabled; a
+	// nonzero count means the run's results are suspect).
+	Violations int64 `json:"violations,omitempty"`
 	// Metrics is a registry snapshot taken when the run finished.
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }
@@ -78,6 +86,14 @@ func NewManifest(info RunInfo, artifact string, wall time.Duration) Manifest {
 	if s := wall.Seconds(); s > 0 && info.Cycles > 0 {
 		m.CyclesPerSec = float64(info.Cycles) / s
 	}
+	return m
+}
+
+// WithFaults records the fault-injection spec and the invariant
+// checker's violation count on the manifest.
+func (m Manifest) WithFaults(spec string, violations int64) Manifest {
+	m.FaultSpec = spec
+	m.Violations = violations
 	return m
 }
 

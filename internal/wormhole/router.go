@@ -83,6 +83,25 @@ type Endpoint interface {
 // FIFO, so the upstream sender regains a credit.
 type creditReturn func(vc int)
 
+// OutputFault models a faulty output link for fault-injection
+// campaigns (package fault implements it from a parsed spec). The
+// router consults it in its forwarding phase: a stalled link forwards
+// nothing (occupancy keeps accruing — the wormhole hostage effect), a
+// dropped flit consumes the link cycle and the downstream credit but
+// never arrives, and a corrupted flit is delivered mutated. All three
+// are exactly the partial failures a production switch must survive
+// without panicking; the invariant checker and the deadlock watchdog
+// are what detect the resulting wedges.
+type OutputFault interface {
+	// Stalled reports whether the link is stalled at cycle.
+	Stalled(cycle int64) bool
+	// Drop reports whether this flit is lost in transit.
+	Drop(f flit.Flit, cycle int64) bool
+	// Corrupt returns the flit as it arrives downstream (possibly
+	// mutated) — called for every delivered flit.
+	Corrupt(f flit.Flit, cycle int64) flit.Flit
+}
+
 // Config configures a Router.
 type Config struct {
 	// Ports is the number of ports (inputs == outputs). Port 0 is by
@@ -163,6 +182,15 @@ type Router struct {
 	linkRR []int
 	// usedInput is scratch: which input ports moved a flit this cycle.
 	usedInput []bool
+
+	// outFault[o], when non-nil, injects faults on output link o.
+	outFault []OutputFault
+	// frozen, when non-nil, reports whether the whole router is frozen
+	// at a cycle (fault injection: a crashed/wedged switch ASIC).
+	frozen func(cycle int64) bool
+	// FaultDropped counts flits lost on this router's faulty output
+	// links (the dropped-by-fault term of flit conservation).
+	FaultDropped int64
 }
 
 // NewRouter validates cfg and returns a router with all outputs
@@ -192,6 +220,7 @@ func NewRouter(id int, cfg Config) (*Router, error) {
 		eligible:  make([][]int, cfg.Ports),
 		linkRR:    make([]int, cfg.Ports),
 		usedInput: make([]bool, cfg.Ports),
+		outFault:  make([]OutputFault, cfg.Ports),
 	}
 	for p := 0; p < cfg.Ports; p++ {
 		r.in[p] = newPortBuf(cfg.VCs, cfg.BufFlits, cfg.SharedBufFlits, cfg.SharedBufCap)
@@ -328,10 +357,34 @@ func (r *Router) announce(port, vc int) {
 	pb.notif[vc] = true
 }
 
+// SetOutputFault installs (or, with nil, removes) a fault injector on
+// output link port.
+func (r *Router) SetOutputFault(port int, f OutputFault) { r.outFault[port] = f }
+
+// SetFreeze installs a freeze predicate: while it returns true the
+// router does nothing — no forwarding, no grants — while its input
+// buffers keep accepting flits until credits exhaust, which is
+// exactly how a wedged switch back-pressures its neighbours. nil
+// removes the predicate.
+func (r *Router) SetFreeze(f func(cycle int64) bool) { r.frozen = f }
+
 // Step advances the router by one cycle: forward at most one flit per
 // output link (multiplexed round-robin among the VCs holding an
 // allocation), then grant idle output queues.
 func (r *Router) Step(cycle int64) {
+	if r.frozen != nil && r.frozen(cycle) {
+		// Occupancy still accrues on allocated outputs: a frozen
+		// router's victims are billed wall-clock time, like any other
+		// downstream congestion.
+		for o := range r.locks {
+			for v := range r.locks[o] {
+				if r.locks[o][v].active {
+					r.locks[o][v].occupancy++
+				}
+			}
+		}
+		return
+	}
 	usedInput := r.usedInput
 	for i := range usedInput {
 		usedInput[i] = false
@@ -346,6 +399,9 @@ func (r *Router) Step(cycle int64) {
 			if r.locks[o][v].active {
 				r.locks[o][v].occupancy++
 			}
+		}
+		if f := r.outFault[o]; f != nil && f.Stalled(cycle) {
+			continue // link down: nothing traverses this output
 		}
 		for k := 0; k < V; k++ {
 			v := (r.linkRR[o] + k) % V
@@ -377,7 +433,20 @@ func (r *Router) Step(cycle int64) {
 			if r.out[o] == nil {
 				panic(fmt.Sprintf("wormhole: router %d output %d unconnected", r.id, o))
 			}
-			r.out[o].AcceptFlit(e.f, v, cycle)
+			if f := r.outFault[o]; f != nil && f.Drop(e.f, cycle) {
+				// Lost in transit: the link cycle and the downstream
+				// credit are spent, but the flit never arrives. The
+				// sending router's own bookkeeping is unaffected — a
+				// dropped tail wedges the *downstream* packet, which
+				// is the watchdog's job to catch.
+				r.FaultDropped++
+			} else {
+				out := e.f
+				if f := r.outFault[o]; f != nil {
+					out = f.Corrupt(out, cycle)
+				}
+				r.out[o].AcceptFlit(out, v, cycle)
+			}
 			if e.f.Kind == flit.Tail || e.f.Kind == flit.HeadTail {
 				r.completePacket(o, v)
 			}
@@ -520,6 +589,65 @@ func (s *StallSink) Step(cycle int64) {
 		s.credUp(vc)
 	}
 	s.Inner.AcceptFlit(f, vc, cycle)
+}
+
+// WaitEdge is one edge of the channel-wait graph: an in-flight packet
+// holding output queue (OutPort, OutVC) that cannot advance, and why.
+// The deadlock watchdog dumps these for every router when a network
+// stops making progress, turning "it hangs" into a followable chain
+// of who-waits-on-whom.
+type WaitEdge struct {
+	Router, OutPort, OutVC int
+	InPort, InVC, Flow     int
+	Occupancy              int64
+	// Reason is what blocks the next flit: "frozen", "link-stalled",
+	// "input-empty" (waiting on upstream), "no-credit" / "no-space"
+	// (waiting on downstream), or "contended" (movable, lost link
+	// arbitration this cycle).
+	Reason string
+}
+
+// WaitEdges returns the channel-wait graph edges of every currently
+// blocked output-queue allocation, evaluated against the state at the
+// given cycle.
+func (r *Router) WaitEdges(cycle int64) []WaitEdge {
+	var edges []WaitEdge
+	frozen := r.frozen != nil && r.frozen(cycle)
+	for o := range r.locks {
+		stalled := r.outFault[o] != nil && r.outFault[o].Stalled(cycle)
+		for v := range r.locks[o] {
+			l := r.locks[o][v]
+			if !l.active {
+				continue
+			}
+			reason := "contended"
+			pb := r.in[l.port]
+			switch {
+			case frozen:
+				reason = "frozen"
+			case stalled:
+				reason = "link-stalled"
+			case pb.empty(l.vc):
+				reason = "input-empty"
+			case r.gateOut[o] != nil && !r.gateOut[o](v):
+				reason = "no-space"
+			case r.gateOut[o] == nil && r.crd[o][v] <= 0:
+				reason = "no-credit"
+			}
+			edges = append(edges, WaitEdge{
+				Router: r.id, OutPort: o, OutVC: v,
+				InPort: l.port, InVC: l.vc, Flow: l.flow,
+				Occupancy: l.occupancy, Reason: reason,
+			})
+		}
+	}
+	return edges
+}
+
+// String renders the edge for wait-graph dumps.
+func (e WaitEdge) String() string {
+	return fmt.Sprintf("router %d out(%d,%d) <- in(%d,%d) flow %d occ %d: %s",
+		e.Router, e.OutPort, e.OutVC, e.InPort, e.InVC, e.Flow, e.Occupancy, e.Reason)
 }
 
 // DumpState prints the router's output-queue allocations, FIFO
