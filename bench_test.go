@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/damq"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/flit"
 	"repro/internal/harness"
@@ -399,5 +400,76 @@ func BenchmarkMeshStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		inj.Step()
 		m.Step()
+	}
+}
+
+// --- NoC stepping-mode benchmarks (BENCH_noc.json) ---
+
+// benchMeshStepping measures one mesh cycle under a stepping mode:
+// "full" iterates every router each cycle (the pre-active-set
+// behaviour), "quiescent" steps only routers holding flits or locks,
+// and "sharded" additionally fans the compute phase across a worker
+// pool. A warm phase reaches steady state first so the active set
+// reflects the sustained load, not the cold start.
+func benchMeshStepping(b *testing.B, k int, rate float64, mode string, workers int) {
+	m, err := noc.NewMesh(noc.Config{
+		K: k, VCs: 2, BufFlits: 8,
+		NewArb: func() sched.Scheduler { return core.New() },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	switch mode {
+	case "full":
+		m.SetFullIteration(true)
+	case "sharded":
+		p := exec.NewPool(workers)
+		defer p.Close()
+		m.SetPool(p)
+	}
+	inj := noc.NewInjector(m, rate, noc.Uniform{Nodes: m.Nodes()}, rng.NewUniform(1, 8), rng.New(5))
+	inj.MaxPending = 4
+	for c := 0; c < 2000; c++ {
+		inj.Step()
+		m.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Step()
+		m.Step()
+	}
+}
+
+func BenchmarkNoCStepping(b *testing.B) {
+	// Load points: "low" is a genuinely light load (~1% flit
+	// injection, ~20% of routers active) where quiescence pays;
+	// "tenpct" is ~10% flit injection, which under uniform traffic
+	// already backlogs nearly every router (so skipping buys nothing
+	// and must cost nothing); "high" is deep saturation.
+	loads := []struct {
+		name string
+		k    int
+		rate float64
+	}{
+		{"8x8-low", 8, 0.002},
+		{"8x8-high", 8, 0.30},
+		{"16x16-low", 16, 0.002},
+		{"16x16-tenpct", 16, 0.02},
+		{"16x16-high", 16, 0.30},
+	}
+	modes := []struct {
+		name, mode string
+		workers    int
+	}{
+		{"full", "full", 0},
+		{"quiescent", "quiescent", 0},
+		{"sharded4", "sharded", 4},
+	}
+	for _, l := range loads {
+		for _, md := range modes {
+			b.Run(l.name+"/"+md.name, func(b *testing.B) {
+				benchMeshStepping(b, l.k, l.rate, md.mode, md.workers)
+			})
+		}
 	}
 }

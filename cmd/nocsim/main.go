@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -38,6 +39,7 @@ func main() {
 		faults  = flag.String("faults", "", "fault-injection spec, e.g. \"freeze(router=5,at=1000,dur=500);drop(router=0,port=1,p=0.01)\" (\"\" = fault-free; see internal/fault)")
 		checkF  = flag.Bool("check", false, "validate ejected flit streams and run a deadlock watchdog that dumps the channel-wait graph on a stall")
 		fseed   = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
+		par     = flag.Int("parallel-mesh", 1, "shard mesh stepping across this many workers (1 = serial, 0 = GOMAXPROCS); output is identical at any setting")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -48,13 +50,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "nocsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF); err != nil {
+	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool) error {
+func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -79,6 +81,12 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 	m, err := noc.NewMesh(noc.Config{K: k, VCs: vcs, BufFlits: buf, NewArb: newArb, Torus: torus})
 	if err != nil {
 		return err
+	}
+	m.RegisterObs(obs.Default())
+	if parallel != 1 {
+		pool := exec.NewPool(parallel)
+		defer pool.Close()
+		m.SetPool(pool)
 	}
 
 	spec, err := fault.Parse(faults)
@@ -182,6 +190,12 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		m.Latency.Mean(), m.Latency.Min(), m.Latency.Max(), m.Latency.N())
 	spread := stats.MaxAbsDiff(flits)
 	fmt.Printf("per-source delivered flits: spread %.0f\n", spread)
+	if cyc := obs.Default().Counter("noc.cycles").Value(); cyc > 0 {
+		comp := obs.Default().Counter("noc.router_computes").Value()
+		fmt.Printf("stepping: avg %.1f of %d routers active per cycle (high water %d)\n",
+			float64(comp)/float64(cyc), m.Nodes(),
+			obs.Default().Gauge("noc.active_routers_high_water").Value())
+	}
 	if fc := finj.Counters(); fc != (fault.Counters{}) {
 		fmt.Printf("faults: %d stall cycles, %d dropped flits, %d corrupted flits\n",
 			fc.StallCycles, fc.Dropped, fc.Corrupted)

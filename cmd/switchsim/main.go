@@ -38,6 +38,7 @@ func main() {
 		faults = flag.String("faults", "", "fault-injection spec, e.g. \"stall(port=0,at=1000,dur=500);malformed(kind=notail,p=0.001)\" (\"\" = fault-free; see internal/fault)")
 		checkF = flag.Bool("check", false, "validate the output flit stream and run a deadlock watchdog; violations fail the run with a cycle-stamped report")
 		fseed  = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
+		par    = flag.Int("parallel-mesh", 1, "step the switch through the explicit two-phase compute/commit path (any value != 1); a single switch has nothing to shard, but output must be identical")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -48,13 +49,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "switchsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF); err != nil {
+	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF, *par); err != nil {
 		fmt.Fprintf(os.Stderr, "switchsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool) error {
+func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool, parallel int) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -151,6 +152,16 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 			dists[i] = rng.NewUniform(minLen, maxLen)
 		}
 	}
+	stepRouter := r.Step
+	if parallel != 1 {
+		var fx wormhole.Effects
+		stepRouter = func(c int64) {
+			fx.Reset()
+			r.Compute(c, &fx)
+			fx.Apply()
+		}
+	}
+
 	pending := make([][]flit.Flit, inputs)
 	for c := int64(0); c < cycles; c++ {
 		for in := 0; in < inputs; in++ {
@@ -179,7 +190,7 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 				}
 			}
 		}
-		r.Step(c)
+		stepRouter(c)
 		sink.Step(c)
 		// Inputs are permanently backlogged, so a silent output for the
 		// whole watchdog budget means the switch is wedged.

@@ -1,0 +1,88 @@
+package exec
+
+import "sync"
+
+// Pool is a persistent worker pool for fine-grained, repeated fan-out
+// — the per-cycle sharded stepping of a mesh, where spawning fresh
+// goroutines every cycle (as Run does per call) would dominate the
+// work. Workers are started once and live until Close; each Do call
+// distributes its tasks over them and blocks until every task has
+// returned.
+//
+// Determinism contract: Do imposes no ordering — tasks run
+// concurrently in any interleaving — so callers must hand it tasks
+// that are data-independent (each task owns everything it writes, as
+// with Run's jobs) and must sequence any order-sensitive work
+// themselves, after Do returns. The mesh's two-phase stepping is the
+// canonical shape: compute shards in Do, then commit the buffered
+// effects serially in fixed router-ID order.
+type Pool struct {
+	workers int
+	tasks   chan poolTask
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type poolTask struct {
+	fn   func()
+	done *sync.WaitGroup
+}
+
+// NewPool starts a pool of Workers(workers) goroutines (workers <= 0
+// selects GOMAXPROCS). Close it when done; an unclosed pool leaks its
+// worker goroutines.
+func NewPool(workers int) *Pool {
+	p := &Pool{
+		workers: Workers(workers),
+		tasks:   make(chan poolTask),
+		stop:    make(chan struct{}),
+	}
+	for w := 0; w < p.workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case t := <-p.tasks:
+					t.fn()
+					t.done.Done()
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+// Do runs every task and returns when all have completed. The calling
+// goroutine executes the last task itself, so a Do over exactly one
+// task costs no synchronization round-trip beyond the WaitGroup.
+// Tasks must be data-independent (see the type comment); a task
+// panicking crashes the pool, matching the crash-on-bug policy of the
+// simulation hot path.
+func (p *Pool) Do(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(len(tasks))
+	for _, fn := range tasks[:len(tasks)-1] {
+		p.tasks <- poolTask{fn: fn, done: &done}
+	}
+	last := tasks[len(tasks)-1]
+	last()
+	done.Done()
+	done.Wait()
+}
+
+// Close stops the workers and waits for them to exit. Close must not
+// race a Do call; it is idempotent only in the sense that a closed
+// pool must not be used again.
+func (p *Pool) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}

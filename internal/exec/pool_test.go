@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolDoRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		out := make([]int, 64)
+		tasks := make([]func(), len(out))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { out[i] = i + 1 }
+		}
+		p.Do(tasks...)
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i+1)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolReuseAcrossRounds(t *testing.T) {
+	// The mesh calls Do once per simulated cycle; the pool must stay
+	// healthy across many small rounds without spawning goroutines.
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 2000; round++ {
+		p.Do(
+			func() { total.Add(1) },
+			func() { total.Add(1) },
+			func() { total.Add(1) },
+		)
+	}
+	if got := total.Load(); got != 6000 {
+		t.Fatalf("ran %d tasks, want 6000", got)
+	}
+}
+
+func TestPoolDoEmptyAndSingle(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Do() // no tasks: must not hang
+	ran := false
+	p.Do(func() { ran = true })
+	if !ran {
+		t.Fatal("single task did not run")
+	}
+}
+
+func TestPoolWorkersNormalized(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	p2 := NewPool(3)
+	defer p2.Close()
+	if p2.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p2.Workers())
+	}
+}

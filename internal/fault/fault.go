@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/flit"
@@ -51,7 +52,19 @@ type Injector struct {
 	spec *Spec
 	seed uint64
 
-	counters Counters
+	// Counter cells are atomic because outputFault hooks fire from the
+	// routers' compute phase, which the mesh may shard across workers;
+	// each hook still draws from its own per-(router,port) rng stream,
+	// so only the tallies are shared.
+	counters atomicCounters
+}
+
+// atomicCounters is the internal, race-safe form of Counters.
+type atomicCounters struct {
+	stallCycles atomic.Int64
+	dropped     atomic.Int64
+	corrupted   atomic.Int64
+	malformed   atomic.Int64
 }
 
 // New returns an injector for the spec, or nil when the spec is nil
@@ -63,13 +76,19 @@ func New(spec *Spec, seed uint64) *Injector {
 	return &Injector{spec: spec, seed: seed}
 }
 
-// Counters returns what the injector has done so far. Zero value on a
-// nil injector.
+// Counters returns a snapshot of what the injector has done so far.
+// Zero value on a nil injector. Safe to call while a simulation is
+// stepping (each field is an independent atomic load).
 func (in *Injector) Counters() Counters {
 	if in == nil {
 		return Counters{}
 	}
-	return in.counters
+	return Counters{
+		StallCycles: in.counters.stallCycles.Load(),
+		Dropped:     in.counters.dropped.Load(),
+		Corrupted:   in.counters.corrupted.Load(),
+		Malformed:   in.counters.malformed.Load(),
+	}
 }
 
 // Spec returns the parsed spec (nil for a nil injector).
@@ -134,7 +153,7 @@ func (s *engineStall) FlitStallAt(flow int, cycle int64) int {
 		}
 	}
 	inj := s.in.stallAt(flow, cycle)
-	s.in.counters.StallCycles += inj
+	s.in.counters.stallCycles.Add(inj)
 	if base+inj > permanentStall {
 		return int(permanentStall)
 	}
@@ -193,7 +212,7 @@ func (m *malformedSource) Arrivals(cycle int64, q traffic.QueueView) []flit.Pack
 			// exercised by MalformedFlits at the flit level.
 			continue
 		}
-		m.in.counters.Malformed++
+		m.in.counters.malformed.Add(1)
 		m.buf = append(m.buf, p)
 	}
 	return m.buf
@@ -249,7 +268,7 @@ func (o *outputFault) Stalled(cycle int64) bool {
 func (o *outputFault) Drop(f flit.Flit, cycle int64) bool {
 	for _, d := range o.drops {
 		if o.dropSrc.Bernoulli(d.P) {
-			o.in.counters.Dropped++
+			o.in.counters.dropped.Add(1)
 			return true
 		}
 	}
@@ -275,7 +294,7 @@ func (o *outputFault) Corrupt(f flit.Flit, cycle int64) flit.Flit {
 		case flit.HeadTail:
 			f.Kind = flit.Head
 		}
-		o.in.counters.Corrupted++
+		o.in.counters.corrupted.Add(1)
 	}
 	return f
 }

@@ -9,8 +9,12 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/flit"
+	"repro/internal/obs"
+	"repro/internal/queue"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/wormhole"
@@ -53,16 +57,87 @@ type Config struct {
 }
 
 // injState is the per-node injection front end: one packet is fed
-// into the local input port at one flit per cycle.
+// into the local input port at one flit per cycle. The queue is a
+// ring-buffer FIFO (not a slice popped with q = q[1:], which keeps
+// every delivered packet reachable at the run's high-water mark) so
+// a burst's memory is returned as it drains.
 type injState struct {
-	queue  []flit.Packet
+	queue  queue.PacketQueue
 	flits  []flit.Flit
 	next   int
 	vc     int
 	nextVC int
 }
 
+// pktMeta is what the mesh remembers about an undelivered packet: when
+// it was queued (for latency) and how long it is (so only the true
+// tail flit — Seq == length-1 — can complete it; a mid-packet flit
+// corrupted into a tail must not).
+type pktMeta struct {
+	t0     int64
+	length int
+}
+
+// idSet tracks which node ids are active: a membership bitmap plus an
+// id list, sorted lazily before iteration so additions (which arrive
+// in commit order, not id order) stay O(1).
+type idSet struct {
+	ids    []int
+	member []bool
+	dirty  bool
+}
+
+func newIDSet(n int) *idSet { return &idSet{member: make([]bool, n)} }
+
+func (s *idSet) add(id int) {
+	if s.member[id] {
+		return
+	}
+	s.member[id] = true
+	s.ids = append(s.ids, id)
+	s.dirty = true
+}
+
+// sorted returns the member ids in ascending order. The slice is
+// owned by the set; do not retain it across add/prune.
+func (s *idSet) sorted() []int {
+	if s.dirty {
+		sort.Ints(s.ids)
+		s.dirty = false
+	}
+	return s.ids
+}
+
+// prune drops every member for which keep returns false, preserving
+// order.
+func (s *idSet) prune(keep func(id int) bool) {
+	kept := s.ids[:0]
+	for _, id := range s.ids {
+		if keep(id) {
+			kept = append(kept, id)
+		} else {
+			s.member[id] = false
+		}
+	}
+	s.ids = kept
+}
+
+func (s *idSet) len() int { return len(s.ids) }
+
 // Mesh is a K x K wormhole mesh (or torus, when Config.Torus is set).
+//
+// Stepping is quiescence-aware and two-phase. Routers register on an
+// active set when a flit arrives (wormhole.Router.SetOnActive) and
+// retire when they go idle; injection front ends do the same when
+// packets are queued. Each cycle touches only active nodes — a
+// skipped router's Step is provably a strict no-op — so a big mesh at
+// low load pays for its traffic, not its radix. Within a cycle every
+// router first Computes against frozen cycle-start state, buffering
+// cross-router effects (flit handoffs, credit returns) per router;
+// the mesh then commits the buffers in ascending router-id order.
+// Because computes touch only router-own state, they may run in any
+// order — or concurrently, see StepParallel — without changing a
+// single byte of the run's artifacts.
 type Mesh struct {
 	cfg     Config
 	routers []*wormhole.Router
@@ -71,7 +146,30 @@ type Mesh struct {
 	cycle   int64
 	nextID  int64
 
-	injectTime map[int64]int64
+	inflight map[int64]pktMeta
+
+	activeR *idSet // routers with buffered flits or live allocations
+	activeI *idSet // nodes with queued or mid-injection packets
+	fx      []wormhole.Effects
+	allIDs  []int
+	pool    *exec.Pool
+	// fullIter disables active-set skipping (oracle mode for tests).
+	fullIter bool
+
+	// shard* is reusable scratch for StepParallel's compute fan-out;
+	// the closures read the fields so they are built once per worker
+	// count instead of once per cycle.
+	shardTasks []func()
+	shardIDs   []int
+	shardBound []int
+	shardCycle int64
+
+	// obs handles (nil unless RegisterObs was called).
+	obsCycles          *obs.Counter
+	obsComputes        *obs.Counter
+	obsActiveRouters   *obs.Gauge
+	obsActiveRoutersHW *obs.Gauge
+	obsActiveInjectors *obs.Gauge
 
 	// Latency accumulates end-to-end packet latencies (inject of head
 	// flit enqueued -> tail flit ejected).
@@ -99,12 +197,17 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		routers:          make([]*wormhole.Router, n),
 		sinks:            make([]*wormhole.Sink, n),
 		inj:              make([]injState, n),
-		injectTime:       make(map[int64]int64),
+		inflight:         make(map[int64]pktMeta),
+		activeR:          newIDSet(n),
+		activeI:          newIDSet(n),
+		fx:               make([]wormhole.Effects, n),
+		allIDs:           make([]int, n),
 		DeliveredFlits:   make([]int64, n),
 		DeliveredPackets: make([]int64, n),
 	}
 	for id := 0; id < n; id++ {
 		id := id
+		m.allIDs[id] = id
 		rcfg := wormhole.Config{
 			Ports:          numPorts,
 			VCs:            cfg.VCs,
@@ -123,6 +226,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.SetOnActive(func() { m.activeR.add(id) })
 		m.routers[id] = r
 	}
 	// Wire neighbours and ejection sinks.
@@ -269,11 +373,18 @@ func (m *Mesh) onFlit(f flit.Flit, vc int, cycle int64) {
 }
 
 func (m *Mesh) onTail(f flit.Flit, cycle int64) {
-	m.DeliveredPackets[f.Flow]++
-	if t0, ok := m.injectTime[f.PktID]; ok {
-		m.Latency.Add(float64(cycle - t0 + 1))
-		delete(m.injectTime, f.PktID)
+	// Only the packet's true tail (its last flit by sequence number)
+	// completes it. Under fault injection a corrupted body flit can
+	// arrive wearing a tail kind; counting that as a completion let
+	// Drain report success with the rest of the worm still in the
+	// network, and double-counted the packet when the real tail came.
+	meta, ok := m.inflight[f.PktID]
+	if !ok || f.Seq != meta.length-1 {
+		return
 	}
+	m.DeliveredPackets[f.Flow]++
+	m.Latency.Add(float64(cycle - meta.t0 + 1))
+	delete(m.inflight, f.PktID)
 }
 
 // Send queues a packet for injection at node src toward node dst.
@@ -289,15 +400,16 @@ func (m *Mesh) Send(src, dst, length int) {
 	id := m.nextID
 	m.nextID++
 	p := flit.Packet{Flow: src, Length: length, Dst: dst, ID: id}
-	m.injectTime[id] = m.cycle
-	m.inj[src].queue = append(m.inj[src].queue, p)
+	m.inflight[id] = pktMeta{t0: m.cycle, length: length}
+	m.inj[src].queue.Push(p)
+	m.activeI.add(src)
 }
 
 // PendingAt returns the number of packets queued or mid-injection at
 // node src.
 func (m *Mesh) PendingAt(src int) int {
 	st := &m.inj[src]
-	n := len(st.queue)
+	n := st.queue.Len()
 	if st.flits != nil {
 		n++
 	}
@@ -306,19 +418,96 @@ func (m *Mesh) PendingAt(src int) int {
 
 // InFlight returns the number of packets injected (or queued) but not
 // yet fully delivered.
-func (m *Mesh) InFlight() int { return len(m.injectTime) }
+func (m *Mesh) InFlight() int { return len(m.inflight) }
 
 // Cycle returns the current cycle.
 func (m *Mesh) Cycle() int64 { return m.cycle }
 
-// Step advances the whole mesh by one cycle.
-func (m *Mesh) Step() {
-	// Injection front ends: at most one flit per node per cycle.
-	for id := range m.inj {
+// SetPool attaches a persistent worker pool: Step (and so Run and
+// Drain) shards its compute phase across it, exactly as StepParallel
+// does. nil restores serial compute. Artifacts are identical either
+// way.
+func (m *Mesh) SetPool(p *exec.Pool) { m.pool = p }
+
+// SetFullIteration, when on, makes every Step walk all K² routers
+// instead of only the active set — the oracle the determinism tests
+// compare against, since a skipped router must be a strict no-op.
+func (m *Mesh) SetFullIteration(on bool) { m.fullIter = on }
+
+// RegisterObs wires the mesh's stepping telemetry into reg:
+// noc.cycles and noc.router_computes counters (their ratio is the
+// average active-set occupancy — the work quiescence saves), and
+// noc.active_routers / noc.active_routers_high_water /
+// noc.active_injectors gauges.
+func (m *Mesh) RegisterObs(reg *obs.Registry) {
+	m.obsCycles = reg.Counter("noc.cycles")
+	m.obsComputes = reg.Counter("noc.router_computes")
+	m.obsActiveRouters = reg.Gauge("noc.active_routers")
+	m.obsActiveRoutersHW = reg.Gauge("noc.active_routers_high_water")
+	m.obsActiveInjectors = reg.Gauge("noc.active_injectors")
+}
+
+// Step advances the whole mesh by one cycle (sharding compute across
+// the pool installed with SetPool, if any).
+func (m *Mesh) Step() { m.step(m.pool) }
+
+// StepParallel advances the mesh by one cycle with the compute phase
+// sharded across p's workers. The result is byte-identical to Step at
+// any worker count: computes touch only router-own state, and the
+// cross-router effects they buffer are committed serially in
+// ascending router-id order regardless of which worker computed them.
+func (m *Mesh) StepParallel(p *exec.Pool) { m.step(p) }
+
+func (m *Mesh) step(pool *exec.Pool) {
+	m.injectPhase()
+	ids := m.activeR.sorted()
+	if m.fullIter {
+		ids = m.allIDs
+	}
+	// Shared-buffer (DAMQ) gates read downstream occupancy, so they
+	// are sampled serially before any compute pops a flit; a no-op on
+	// meshes without shared buffers.
+	if m.cfg.SharedBufFlits > 0 {
+		for _, id := range ids {
+			m.routers[id].SnapshotGates(m.cycle)
+		}
+	}
+	if pool != nil && pool.Workers() > 1 && len(ids) > 1 {
+		m.computeSharded(pool, ids)
+	} else {
+		for _, id := range ids {
+			fx := &m.fx[id]
+			fx.Reset()
+			m.routers[id].Compute(m.cycle, fx)
+		}
+	}
+	// Commit in ascending router-id order. Deliveries may re-activate
+	// quiescent routers (Router.onActive appends to the active set);
+	// they join the iteration next cycle.
+	for _, id := range ids {
+		m.fx[id].Apply()
+	}
+	m.activeR.prune(func(id int) bool { return m.routers[id].Busy() })
+	m.cycle++
+	if m.obsCycles != nil {
+		m.obsCycles.Inc()
+		m.obsComputes.Add(int64(len(ids)))
+		n := int64(m.activeR.len())
+		m.obsActiveRouters.Set(n)
+		m.obsActiveRoutersHW.SetMax(n)
+		m.obsActiveInjectors.Set(int64(m.activeI.len()))
+	}
+}
+
+// injectPhase runs the injection front ends of every node with
+// pending traffic: at most one flit per node per cycle, in ascending
+// node-id order (identical to the old full iteration, since a node
+// without pending traffic was a no-op).
+func (m *Mesh) injectPhase() {
+	for _, id := range m.activeI.sorted() {
 		st := &m.inj[id]
-		if st.flits == nil && len(st.queue) > 0 {
-			p := st.queue[0]
-			st.queue = st.queue[1:]
+		if st.flits == nil && !st.queue.Empty() {
+			p := st.queue.Pop()
 			st.flits = p.Flits()
 			st.next = 0
 			// Torus packets must start in the lower (pre-dateline)
@@ -339,10 +528,48 @@ func (m *Mesh) Step() {
 			}
 		}
 	}
-	for _, r := range m.routers {
-		r.Step(m.cycle)
+	m.activeI.prune(func(id int) bool {
+		st := &m.inj[id]
+		return st.flits != nil || !st.queue.Empty()
+	})
+}
+
+// computeSharded fans the compute phase out over the pool in
+// contiguous chunks of the (sorted) active ids. Compute order is
+// irrelevant — each router mutates only its own state and its own
+// effect buffer — so chunking is purely a load-balancing choice.
+func (m *Mesh) computeSharded(pool *exec.Pool, ids []int) {
+	w := pool.Workers()
+	if w > len(ids) {
+		w = len(ids)
 	}
-	m.cycle++
+	if len(m.shardTasks) != w {
+		// (Re)build the per-worker closures; they read the shard*
+		// fields so this happens once per worker count, not per cycle.
+		m.shardTasks = make([]func(), w)
+		m.shardBound = make([]int, w+1)
+		for i := range m.shardTasks {
+			i := i
+			m.shardTasks[i] = func() {
+				for _, id := range m.shardIDs[m.shardBound[i]:m.shardBound[i+1]] {
+					fx := &m.fx[id]
+					fx.Reset()
+					m.routers[id].Compute(m.shardCycle, fx)
+				}
+			}
+		}
+	}
+	m.shardIDs = ids
+	m.shardCycle = m.cycle
+	per := (len(ids) + w - 1) / w
+	for i := 0; i <= w; i++ {
+		b := i * per
+		if b > len(ids) {
+			b = len(ids)
+		}
+		m.shardBound[i] = b
+	}
+	pool.Do(m.shardTasks...)
 }
 
 // Run advances the mesh by n cycles.

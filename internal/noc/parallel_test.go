@@ -1,0 +1,232 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/flit"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// delivRec is one ejected flit as the sinks saw it — the byte-level
+// artifact the determinism tests compare across stepping modes.
+type delivRec struct {
+	node, flow, seq, vc int
+	kind                flit.Kind
+	pkt                 int64
+	cycle               int64
+}
+
+// runArtifacts is everything observable about one scenario run.
+// Floats are compared exactly (==): the determinism contract is
+// byte-identity, not tolerance.
+type runArtifacts struct {
+	log      []delivRec
+	packets  []int64
+	flits    []int64
+	cycle    int64
+	inFlight int
+	latN     int64
+	latMean  float64
+	latVar   float64
+	latMin   float64
+	latMax   float64
+	obs      obs.Snapshot
+}
+
+// runStepVariant drives one fixed traffic scenario — warm phase plus
+// bounded drain — stepping the mesh however configure chooses, and
+// returns the run's artifacts.
+func runStepVariant(t *testing.T, torus bool, faultSpec string, configure func(m *Mesh) (step func(), cleanup func())) runArtifacts {
+	t.Helper()
+	cfg := Config{K: 4, VCs: 2, BufFlits: 4,
+		NewArb: func() sched.Scheduler { return core.New() }}
+	if torus {
+		cfg.Torus = true
+		cfg.VCs = 4
+	}
+	m, err := NewMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.RegisterObs(reg)
+	if faultSpec != "" {
+		spec, err := fault.Parse(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InstallFaults(fault.New(spec, 99))
+	}
+	var log []delivRec
+	for id := range m.sinks {
+		id := id
+		s := m.sinks[id]
+		prev := s.OnFlit
+		s.OnFlit = func(f flit.Flit, vc int, cycle int64) {
+			log = append(log, delivRec{node: id, flow: f.Flow, seq: f.Seq,
+				vc: vc, kind: f.Kind, pkt: f.PktID, cycle: cycle})
+			if prev != nil {
+				prev(f, vc, cycle)
+			}
+		}
+	}
+	step, cleanup := configure(m)
+	if cleanup != nil {
+		defer cleanup()
+	}
+	inj := NewInjector(m, 0.15, Uniform{Nodes: m.Nodes()}, rng.NewUniform(1, 6), rng.New(7))
+	for c := 0; c < 2500; c++ {
+		inj.Step()
+		step()
+	}
+	// Bounded drain (fault scenarios can wedge packets permanently;
+	// the wedge itself must then be identical across variants).
+	for i := 0; i < 6000 && m.InFlight() > 0; i++ {
+		step()
+	}
+	return runArtifacts{
+		log:      log,
+		packets:  append([]int64(nil), m.DeliveredPackets...),
+		flits:    append([]int64(nil), m.DeliveredFlits...),
+		cycle:    m.Cycle(),
+		inFlight: m.InFlight(),
+		latN:     m.Latency.N(),
+		latMean:  m.Latency.Mean(),
+		latVar:   m.Latency.Var(),
+		latMin:   m.Latency.Min(),
+		latMax:   m.Latency.Max(),
+		obs:      reg.Snapshot(),
+	}
+}
+
+// stepVariants are the stepping modes every scenario is run under.
+// quiescent marks modes whose obs telemetry must match the baseline
+// exactly (full iteration computes all K² routers by design, so its
+// noc.router_computes differs while every simulation artifact is
+// still identical — that is precisely the skipped-routers-are-no-ops
+// claim).
+var stepVariants = []struct {
+	name      string
+	quiescent bool
+	configure func(m *Mesh) (func(), func())
+}{
+	{"serial-quiescent", true, func(m *Mesh) (func(), func()) {
+		return m.Step, nil
+	}},
+	{"full-iteration", false, func(m *Mesh) (func(), func()) {
+		m.SetFullIteration(true)
+		return m.Step, nil
+	}},
+	{"pool-1", true, func(m *Mesh) (func(), func()) {
+		p := exec.NewPool(1)
+		return func() { m.StepParallel(p) }, p.Close
+	}},
+	{"pool-2", true, func(m *Mesh) (func(), func()) {
+		p := exec.NewPool(2)
+		m.SetPool(p)
+		return m.Step, p.Close
+	}},
+	{"pool-8", true, func(m *Mesh) (func(), func()) {
+		p := exec.NewPool(8)
+		return func() { m.StepParallel(p) }, p.Close
+	}},
+}
+
+func assertArtifactsEqual(t *testing.T, name string, base, got runArtifacts, compareObs bool) {
+	t.Helper()
+	if !compareObs {
+		base.obs, got.obs = obs.Snapshot{}, obs.Snapshot{}
+	}
+	if reflect.DeepEqual(base, got) {
+		return
+	}
+	switch {
+	case !reflect.DeepEqual(base.log, got.log):
+		i := 0
+		for i < len(base.log) && i < len(got.log) && base.log[i] == got.log[i] {
+			i++
+		}
+		t.Errorf("%s: delivery logs diverge at index %d (len %d vs %d)", name, i, len(base.log), len(got.log))
+	case !reflect.DeepEqual(base.obs, got.obs):
+		t.Errorf("%s: obs snapshots differ:\n  base %+v\n  got  %+v", name, base.obs, got.obs)
+	default:
+		base.log, got.log = nil, nil
+		t.Errorf("%s: artifacts differ:\n  base %+v\n  got  %+v", name, base, got)
+	}
+}
+
+// TestMeshStepParallelMatchesSerial pins the tentpole contract: the
+// quiescent serial path, the full-iteration oracle, and StepParallel
+// at 1/2/8 workers all produce byte-identical artifacts — every
+// ejected flit (node, vc, kind, cycle), every counter, and the exact
+// Welford latency accumulation, whose float sums would expose any
+// reordering of commit effects.
+func TestMeshStepParallelMatchesSerial(t *testing.T) {
+	base := runStepVariant(t, false, "", stepVariants[0].configure)
+	if base.latN == 0 || base.inFlight != 0 {
+		t.Fatalf("scenario degenerate: %d packets, %d in flight", base.latN, base.inFlight)
+	}
+	for _, v := range stepVariants[1:] {
+		got := runStepVariant(t, false, "", v.configure)
+		assertArtifactsEqual(t, v.name, base, got, v.quiescent)
+	}
+}
+
+// TestMeshStepParallelTorusFaults is the adversarial variant: a torus
+// (dateline VC switching) under link stalls, flit drops, corruption,
+// and a router freeze. Faults exercise the quiescence edge cases —
+// frozen routers must keep accruing occupancy while active, dropped
+// tails wedge downstream worms that must stay registered forever —
+// and the per-(router,port) fault rng streams must land identically
+// regardless of compute scheduling.
+func TestMeshStepParallelTorusFaults(t *testing.T) {
+	const spec = "stall(port=1,at=100,dur=200);drop(router=5,port=1,p=0.05);corrupt(router=10,p=0.05);freeze(router=6,at=300,dur=400)"
+	base := runStepVariant(t, true, spec, stepVariants[0].configure)
+	if base.latN == 0 {
+		t.Fatal("scenario degenerate: nothing delivered")
+	}
+	for _, v := range stepVariants[1:] {
+		got := runStepVariant(t, true, spec, v.configure)
+		assertArtifactsEqual(t, v.name, base, got, v.quiescent)
+	}
+}
+
+// TestQuiescenceSkipsIdleRouters pins the point of the active set: a
+// single worm crossing a big mesh must cost a handful of router
+// computes per cycle, not K².
+func TestQuiescenceSkipsIdleRouters(t *testing.T) {
+	m, err := NewMesh(Config{K: 8, VCs: 2, BufFlits: 4,
+		NewArb: func() sched.Scheduler { return core.New() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.RegisterObs(reg)
+	m.Send(0, m.Nodes()-1, 3)
+	if !m.Drain(2000) {
+		t.Fatal("packet not delivered")
+	}
+	cycles := reg.Counter("noc.cycles").Value()
+	computes := reg.Counter("noc.router_computes").Value()
+	if cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	// A 3-flit worm occupies a bounded window of the 14-hop path; the
+	// idle ~60 routers must not be computed.
+	if computes > cycles*8 {
+		t.Errorf("router computes %d over %d cycles: active set not pruning (full iteration would be %d)",
+			computes, cycles, cycles*int64(m.Nodes()))
+	}
+	if hw := reg.Gauge("noc.active_routers_high_water").Value(); hw == 0 || hw > 10 {
+		t.Errorf("active-set high water %d, want 1..10", hw)
+	}
+	if got := reg.Gauge("noc.active_routers").Value(); got != 0 {
+		t.Errorf("active routers after drain = %d, want 0", got)
+	}
+}

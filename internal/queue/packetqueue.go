@@ -24,6 +24,12 @@ type PacketQueue struct {
 // Len returns the number of queued packets.
 func (q *PacketQueue) Len() int { return q.size }
 
+// Cap returns the capacity of the backing ring. It grows with bursts
+// and shrinks again as they drain (see Pop), so a queue's live heap is
+// proportional to its recent occupancy, not its all-time high-water
+// mark.
+func (q *PacketQueue) Cap() int { return len(q.buf) }
+
 // Empty reports whether the queue holds no packets.
 func (q *PacketQueue) Empty() bool { return q.size == 0 }
 
@@ -54,6 +60,10 @@ func (q *PacketQueue) Push(p flit.Packet) {
 	q.flits += int64(p.Length)
 }
 
+// shrinkCap is the smallest ring a queue shrinks to; below this the
+// saving is not worth the copy.
+const shrinkCap = 64
+
 // Pop removes and returns the packet at the head of the queue.
 // It panics if the queue is empty.
 func (q *PacketQueue) Pop() flit.Packet {
@@ -65,6 +75,13 @@ func (q *PacketQueue) Pop() flit.Packet {
 	q.head = (q.head + 1) % len(q.buf)
 	q.size--
 	q.flits -= int64(p.Length)
+	// Shrink the ring once occupancy falls to a quarter of it, so a
+	// burst's backing array does not stay live for the rest of the
+	// run. Halving at <= 1/4 occupancy keeps the move amortised O(1)
+	// and leaves slack against grow/shrink thrash at the boundary.
+	if n := len(q.buf); n > shrinkCap && q.size <= n/4 {
+		q.resize(n / 2)
+	}
 	return p
 }
 
@@ -82,6 +99,10 @@ func (q *PacketQueue) grow() {
 	if n == 0 {
 		n = 8
 	}
+	q.resize(n)
+}
+
+func (q *PacketQueue) resize(n int) {
 	nb := make([]flit.Packet, n)
 	for i := 0; i < q.size; i++ {
 		nb[i] = q.buf[(q.head+i)%len(q.buf)]

@@ -71,6 +71,65 @@ func TestPacketQueuePanics(t *testing.T) {
 	assertPanics(t, "Peek", func() { q.Peek() })
 }
 
+// TestPacketQueueShrinksAfterBurst pins the memory-retention fix: a
+// queue that absorbed a large burst must release the burst's backing
+// array as it drains instead of holding its high-water capacity
+// forever.
+func TestPacketQueueShrinksAfterBurst(t *testing.T) {
+	var q PacketQueue
+	const burst = 1 << 14
+	for i := 0; i < burst; i++ {
+		q.Push(flit.Packet{ID: int64(i), Length: 1})
+	}
+	peak := q.Cap()
+	if peak < burst {
+		t.Fatalf("Cap = %d after %d pushes", peak, burst)
+	}
+	for i := 0; i < burst; i++ {
+		if p := q.Pop(); p.ID != int64(i) {
+			t.Fatalf("FIFO order broken during shrink: got %d, want %d", p.ID, i)
+		}
+	}
+	if q.Cap() > shrinkCap {
+		t.Fatalf("Cap = %d after drain, want <= %d (peak was %d)", q.Cap(), shrinkCap, peak)
+	}
+	// The queue stays fully usable after shrinking.
+	q.Push(flit.Packet{ID: 99, Length: 2})
+	if q.Pop().ID != 99 || !q.Empty() {
+		t.Fatal("queue unusable after shrink")
+	}
+}
+
+// TestPacketQueueShrinkKeepsOrderUnderChurn interleaves pushes and
+// pops across grow/shrink boundaries and checks strict FIFO order.
+func TestPacketQueueShrinkKeepsOrderUnderChurn(t *testing.T) {
+	var q PacketQueue
+	next, out := 0, 0
+	// Ramp up past several grow steps, then drain below shrink
+	// thresholds, repeatedly.
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := 0; i < 500; i++ {
+			q.Push(flit.Packet{ID: int64(next), Length: 1})
+			next++
+		}
+		for i := 0; i < 480; i++ {
+			if p := q.Pop(); p.ID != int64(out) {
+				t.Fatalf("cycle %d: got %d, want %d", cycle, p.ID, out)
+			}
+			out++
+		}
+	}
+	for !q.Empty() {
+		if p := q.Pop(); p.ID != int64(out) {
+			t.Fatalf("drain: got %d, want %d", p.ID, out)
+		}
+		out++
+	}
+	if out != next {
+		t.Fatalf("popped %d, pushed %d", out, next)
+	}
+}
+
 func TestFlitQueueBounded(t *testing.T) {
 	q := NewFlitQueue(3)
 	if q.Cap() != 3 || q.Free() != 3 {

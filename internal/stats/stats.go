@@ -94,6 +94,7 @@ type Histogram struct {
 	buckets []int64
 	under   int64
 	over    int64
+	nan     int64
 	n       int64
 	sum     float64
 }
@@ -107,8 +108,15 @@ func NewHistogram(lo, hi float64, nb int) *Histogram {
 	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, nb)}
 }
 
-// Add incorporates one sample.
+// Add incorporates one sample. NaN samples are counted separately
+// (see NaN) and excluded from the mean: a NaN would otherwise fall
+// through both range comparisons and index the buckets with the
+// result of int(NaN) — a huge negative number — and poison sum.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nan++
+		return
+	}
 	h.n++
 	h.sum += x
 	switch {
@@ -118,8 +126,8 @@ func (h *Histogram) Add(x float64) {
 		h.over++
 	default:
 		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
-		if i == len(h.buckets) { // guard float rounding at the top edge
-			i--
+		if i >= len(h.buckets) { // guard float rounding at the top edge
+			i = len(h.buckets) - 1
 		}
 		h.buckets[i]++
 	}
@@ -144,6 +152,10 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 
 // OutOfRange returns the underflow and overflow counts.
 func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// NaN returns the number of NaN samples offered to Add. They are
+// counted in no bucket and excluded from N and Mean.
+func (h *Histogram) NaN() int64 { return h.nan }
 
 // Quantile returns an approximate q-quantile (0 <= q <= 1) from the
 // bucket midpoints. Underflow/overflow samples clamp to the range

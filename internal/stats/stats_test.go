@@ -111,6 +111,42 @@ func TestHistogramTopEdgeRounding(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundaryValues pins the edges of the bucket-index
+// computation: lo lands in bucket 0, hi in the overflow bucket,
+// just-below-hi in the last bucket, and NaN in no bucket at all
+// (pre-fix, int(NaN) produced a huge negative bucket index and Add
+// panicked with index out of range).
+func TestHistogramBoundaryValues(t *testing.T) {
+	h := NewHistogram(2, 12, 5)
+	h.Add(2) // == lo
+	if h.Bucket(0) != 1 {
+		t.Errorf("Add(lo): bucket 0 = %d, want 1", h.Bucket(0))
+	}
+	h.Add(12) // == hi: half-open range, so overflow
+	if _, over := h.OutOfRange(); over != 1 {
+		t.Errorf("Add(hi): over = %d, want 1", over)
+	}
+	h.Add(math.Nextafter(12, 0)) // just below hi
+	if h.Bucket(4) != 1 {
+		t.Errorf("Add(hi-ulp): last bucket = %d, want 1", h.Bucket(4))
+	}
+	h.Add(math.Nextafter(2, 0)) // just below lo
+	if under, _ := h.OutOfRange(); under != 1 {
+		t.Errorf("Add(lo-ulp): under = %d, want 1", under)
+	}
+	h.Add(math.NaN())
+	if h.NaN() != 1 {
+		t.Errorf("NaN count = %d, want 1", h.NaN())
+	}
+	// NaN is excluded from N and does not poison the mean.
+	if h.N() != 4 {
+		t.Errorf("N = %d, want 4 (NaN excluded)", h.N())
+	}
+	if math.IsNaN(h.Mean()) {
+		t.Error("NaN sample poisoned Mean")
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	h := NewHistogram(0, 100, 100)
 	for i := 0; i < 1000; i++ {

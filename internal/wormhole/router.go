@@ -191,6 +191,27 @@ type Router struct {
 	// FaultDropped counts flits lost on this router's faulty output
 	// links (the dropped-by-fault term of flit conservation).
 	FaultDropped int64
+
+	// work counts buffered flits plus active output allocations — the
+	// router's quiescence measure. work == 0 means a Step/Compute is a
+	// strict no-op (nothing to forward, nothing to grant, no occupancy
+	// to accrue), which is what lets a mesh skip idle routers entirely.
+	// Eligible announcements need no separate term: eligible > 0
+	// implies a buffered head flit, already counted.
+	work int
+	// onActive, when non-nil, fires on the work 0->1 transition (the
+	// only such transition is a flit arriving via acceptFlit). The mesh
+	// uses it to re-register the router on its active set.
+	onActive func()
+
+	// scratch is Step's private effect buffer, reused across cycles.
+	scratch Effects
+	// gateSnap caches gateOut answers as of the start of gateSnapCycle
+	// (see SnapshotGates); hasGates is set when any output uses
+	// stop/go gating.
+	gateSnap      [][]bool
+	gateSnapCycle int64
+	hasGates      bool
 }
 
 // NewRouter validates cfg and returns a router with all outputs
@@ -221,6 +242,8 @@ func NewRouter(id int, cfg Config) (*Router, error) {
 		linkRR:    make([]int, cfg.Ports),
 		usedInput: make([]bool, cfg.Ports),
 		outFault:  make([]OutputFault, cfg.Ports),
+
+		gateSnapCycle: -1,
 	}
 	for p := 0; p < cfg.Ports; p++ {
 		r.in[p] = newPortBuf(cfg.VCs, cfg.BufFlits, cfg.SharedBufFlits, cfg.SharedBufCap)
@@ -253,6 +276,7 @@ func Connect(a *Router, po int, b *Router, pi int) {
 	a.out[po] = neighbour{r: b, port: pi}
 	if b.cfg.SharedBufFlits > 0 {
 		a.gateOut[po] = func(vc int) bool { return b.in[pi].canAccept(vc) }
+		a.hasGates = true
 		return
 	}
 	for v := range a.crd[po] {
@@ -291,11 +315,17 @@ func (n neighbour) AcceptFlit(f flit.Flit, vc int, cycle int64) {
 func (n neighbour) BufFlits() int { return n.r.cfg.BufFlits }
 
 // acceptFlit buffers an incoming flit and, if it exposes a new head
-// packet, announces it to the arbiter of its output.
+// packet, announces it to the arbiter of its output. This is the only
+// place a quiescent router (work == 0) comes back to life, so the
+// 0->1 transition fires the onActive hook here.
 func (r *Router) acceptFlit(port int, f flit.Flit, vc int, cycle int64) {
 	pb := r.in[port]
 	wasEmpty := pb.empty(vc)
 	pb.push(vc, entry{f: f, arrived: cycle})
+	r.work++
+	if r.work == 1 && r.onActive != nil {
+		r.onActive()
+	}
 	if wasEmpty {
 		r.announce(port, vc)
 	}
@@ -368,10 +398,128 @@ func (r *Router) SetOutputFault(port int, f OutputFault) { r.outFault[port] = f 
 // removes the predicate.
 func (r *Router) SetFreeze(f func(cycle int64) bool) { r.frozen = f }
 
+// SetOnActive installs a hook fired when the router transitions from
+// quiescent (Busy() == false) to busy, i.e. when a flit arrives at an
+// empty, unallocated router. The mesh uses it to maintain its active
+// set. nil removes the hook.
+func (r *Router) SetOnActive(fn func()) { r.onActive = fn }
+
+// Busy reports whether stepping the router at this point would do any
+// work: it holds buffered flits or active output allocations. A
+// router with Busy() == false steps as a strict no-op, so a caller
+// may skip it without changing any observable state.
+func (r *Router) Busy() bool { return r.work > 0 }
+
+// Effects buffers the cross-router side effects of one Compute call:
+// flit deliveries to downstream endpoints and credit returns to
+// upstream senders. Everything Compute writes directly is state owned
+// by the computing router; everything that would touch a neighbour
+// lands here, to be committed by Apply. That split is what makes
+// sharded mesh stepping deterministic: computes run concurrently over
+// frozen cycle-start state, then the mesh applies each router's
+// Effects serially in fixed router-ID order.
+type Effects struct {
+	deliveries []delivery
+	credits    []creditFx
+}
+
+type delivery struct {
+	ep    Endpoint
+	f     flit.Flit
+	vc    int
+	cycle int64
+}
+
+type creditFx struct {
+	ret creditReturn
+	vc  int
+}
+
+// Reset empties the buffer for reuse, retaining capacity.
+func (fx *Effects) Reset() {
+	fx.deliveries = fx.deliveries[:0]
+	fx.credits = fx.credits[:0]
+}
+
+// Apply commits the buffered effects: deliveries in recorded
+// (output-port) order, then credit returns. The two classes commute —
+// deliveries touch downstream input buffers and arbiters, credits
+// touch upstream credit counters — so this fixed order is equivalent
+// to the interleaved order the serial router used, for any wiring
+// without self-loops.
+func (fx *Effects) Apply() {
+	for _, d := range fx.deliveries {
+		d.ep.AcceptFlit(d.f, d.vc, d.cycle)
+	}
+	for _, c := range fx.credits {
+		c.ret(c.vc)
+	}
+}
+
+// SnapshotGates caches the stop/go gate state of every shared-buffer
+// output link as of the start of the given cycle. Gate closures read
+// *downstream* buffer occupancy, so under two-phase stepping they
+// must be sampled before any router's Compute pops flits — both for
+// determinism (all routers see cycle-start space) and to keep the
+// concurrent compute phase free of cross-router reads. The snapshot
+// cannot over-admit: one link delivers at most one flit per cycle
+// into the port the gate guards, and the downstream router only
+// frees space during the cycle, never consumes it.
+//
+// A no-op on routers without shared-buffer links. Compute falls back
+// to live gate queries when no snapshot was taken for its cycle, so
+// standalone Router.Step users need never call this.
+func (r *Router) SnapshotGates(cycle int64) {
+	if !r.hasGates {
+		return
+	}
+	if r.gateSnap == nil {
+		r.gateSnap = make([][]bool, len(r.gateOut))
+		for o, g := range r.gateOut {
+			if g != nil {
+				r.gateSnap[o] = make([]bool, r.cfg.VCs)
+			}
+		}
+	}
+	for o, g := range r.gateOut {
+		if g == nil {
+			continue
+		}
+		for v := 0; v < r.cfg.VCs; v++ {
+			r.gateSnap[o][v] = g(v)
+		}
+	}
+	r.gateSnapCycle = cycle
+}
+
+// gateAllows answers "may output o push a flit on VC v this cycle?"
+// from the cycle-start snapshot when one exists, else live.
+func (r *Router) gateAllows(o, v int, cycle int64) bool {
+	if r.gateSnapCycle == cycle {
+		return r.gateSnap[o][v]
+	}
+	return r.gateOut[o](v)
+}
+
 // Step advances the router by one cycle: forward at most one flit per
 // output link (multiplexed round-robin among the VCs holding an
-// allocation), then grant idle output queues.
+// allocation), then grant idle output queues. Step is Compute with
+// the effects applied immediately; for a router stepped on its own
+// the result is identical to interleaved application, since its own
+// compute never reads the neighbour state its effects mutate.
 func (r *Router) Step(cycle int64) {
+	r.scratch.Reset()
+	r.Compute(cycle, &r.scratch)
+	r.scratch.Apply()
+}
+
+// Compute runs the router's cycle against frozen cycle-start state,
+// buffering every cross-router side effect (flit handoffs, credit
+// returns) into fx instead of applying it. It mutates only state
+// owned by this router, so disjoint routers may Compute concurrently;
+// the caller commits the effects afterwards with fx.Apply, ordering
+// commits however its determinism contract requires.
+func (r *Router) Compute(cycle int64, fx *Effects) {
 	if r.frozen != nil && r.frozen(cycle) {
 		// Occupancy still accrues on allocated outputs: a frozen
 		// router's victims are billed wall-clock time, like any other
@@ -415,20 +563,21 @@ func (r *Router) Step(cycle int64) {
 			}
 			// Downstream space: stop/go gate on shared-buffer links,
 			// per-VC credits otherwise.
-			if g := r.gateOut[o]; g != nil {
-				if !g(v) {
+			if r.gateOut[o] != nil {
+				if !r.gateAllows(o, v, cycle) {
 					continue
 				}
 			} else if r.crd[o][v] <= 0 {
 				continue
 			}
 			e := pb.pop(l.vc)
+			r.work--
 			usedInput[l.port] = true
 			if r.gateOut[o] == nil {
 				r.crd[o][v]--
 			}
 			if ret := r.credUp[l.port]; ret != nil {
-				ret(l.vc)
+				fx.credits = append(fx.credits, creditFx{ret: ret, vc: l.vc})
 			}
 			if r.out[o] == nil {
 				panic(fmt.Sprintf("wormhole: router %d output %d unconnected", r.id, o))
@@ -445,7 +594,7 @@ func (r *Router) Step(cycle int64) {
 				if f := r.outFault[o]; f != nil {
 					out = f.Corrupt(out, cycle)
 				}
-				r.out[o].AcceptFlit(out, v, cycle)
+				fx.deliveries = append(fx.deliveries, delivery{ep: r.out[o], f: out, vc: v, cycle: cycle})
 			}
 			if e.f.Kind == flit.Tail || e.f.Kind == flit.HeadTail {
 				r.completePacket(o, v)
@@ -468,6 +617,7 @@ func (r *Router) Step(cycle int64) {
 				panic("wormhole: arbiter granted a flow with no buffered head flit")
 			}
 			r.locks[o][v] = lock{active: true, port: port, vc: vc, outVC: v, flow: flow}
+			r.work++
 		}
 	}
 }
@@ -479,6 +629,7 @@ func (r *Router) completePacket(o, v int) {
 	l := &r.locks[o][v]
 	port, vc, flow, occ := l.port, l.vc, l.flow, l.occupancy
 	r.locks[o][v] = lock{}
+	r.work--
 	pb := r.in[port]
 	pb.notif[vc] = false
 	// Is the next head packet (if already buffered) routed to the same
