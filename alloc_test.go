@@ -1,0 +1,25 @@
+package repro
+
+// Steady-state allocation gates for the simulation hot paths (see
+// DESIGN.md §9): after warm-up, a cycle of the single-server engine
+// and of the wormhole substrates must not allocate. The same
+// quantities are recorded as allocs/op in BENCH_hotpath.json and
+// checked in CI, but these tests fail locally and under -race without
+// any benchmark tooling.
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestEngineCycleAllocsZero(t *testing.T) {
+	e, err := engine.NewEngine(benchERRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(4096)
+	if got := testing.AllocsPerRun(200, func() { e.Run(1) }); got != 0 {
+		t.Errorf("engine cycle allocates %.1f times in steady state, want 0", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/traffic"
+	"repro/internal/wormhole"
 )
 
 // --- one bench per table/figure ---
@@ -433,10 +434,53 @@ func benchMeshStepping(b *testing.B, k int, rate float64, mode string, workers i
 		inj.Step()
 		m.Step()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inj.Step()
 		m.Step()
+	}
+}
+
+// BenchmarkRouterCompute measures one cycle of a single saturated
+// router — both input ports feeding one output, every VC backlogged —
+// the innermost unit of the NoC hot path (BENCH_hotpath.json). The
+// allocs/op figure is the steady-state allocation gate: it must stay
+// at 0.
+func BenchmarkRouterCompute(b *testing.B) {
+	r, err := wormhole.NewRouter(0, wormhole.Config{
+		Ports: 2, VCs: 2, BufFlits: 8,
+		NewArb: func() sched.Scheduler { return core.New() },
+		Route:  func(dst int) int { return 1 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wormhole.ConnectEndpoint(r, 0, &wormhole.Sink{})
+	wormhole.ConnectEndpoint(r, 1, &wormhole.Sink{})
+	flits := flit.Packet{Flow: 0, Length: 4, Dst: 9}.Flits()
+	idx := make([]int, 4)
+	cycle := int64(0)
+	step := func() {
+		cycle++
+		for p := 0; p < 2; p++ {
+			for v := 0; v < 2; v++ {
+				if r.InputFree(p, v) > 0 {
+					i := &idx[p*2+v]
+					r.Inject(p, v, flits[*i], cycle)
+					*i = (*i + 1) % len(flits)
+				}
+			}
+		}
+		r.Step(cycle)
+	}
+	for c := 0; c < 64; c++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
 	}
 }
 

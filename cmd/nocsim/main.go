@@ -40,6 +40,7 @@ func main() {
 		checkF  = flag.Bool("check", false, "validate ejected flit streams and run a deadlock watchdog that dumps the channel-wait graph on a stall")
 		fseed   = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
 		par     = flag.Int("parallel-mesh", 1, "shard mesh stepping across this many workers (1 = serial, 0 = GOMAXPROCS); output is identical at any setting")
+		fscan   = flag.Bool("fullscan", false, "arbitrate with full ports-x-VCs scans instead of the event-driven work-lists (oracle mode; output is identical either way)")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -50,13 +51,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "nocsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par); err != nil {
+	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par, *fscan); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int) error {
+func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int, fullScan bool) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -83,6 +84,7 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		return err
 	}
 	m.RegisterObs(obs.Default())
+	m.SetFullScan(fullScan)
 	if parallel != 1 {
 		pool := exec.NewPool(parallel)
 		defer pool.Close()
@@ -195,6 +197,14 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		fmt.Printf("stepping: avg %.1f of %d routers active per cycle (high water %d)\n",
 			float64(comp)/float64(cyc), m.Nodes(),
 			obs.Default().Gauge("noc.active_routers_high_water").Value())
+		mode := "work-list"
+		if fullScan {
+			mode = "full-scan"
+		}
+		cells := obs.Default().Counter("noc.cells_visited").Value()
+		fmt.Printf("arbitration: %s, %.1f arbitration sites visited/cycle (mesh holds %d ports*VCs cells); %d idle cycles skipped\n",
+			mode, float64(cells)/float64(cyc), m.Nodes()*noc.RouterPorts*vcs,
+			obs.Default().Counter("noc.cycles_skipped").Value())
 	}
 	if fc := finj.Counters(); fc != (fault.Counters{}) {
 		fmt.Printf("faults: %d stall cycles, %d dropped flits, %d corrupted flits\n",

@@ -38,6 +38,7 @@ func main() {
 		faults = flag.String("faults", "", "fault-injection spec, e.g. \"stall(port=0,at=1000,dur=500);malformed(kind=notail,p=0.001)\" (\"\" = fault-free; see internal/fault)")
 		checkF = flag.Bool("check", false, "validate the output flit stream and run a deadlock watchdog; violations fail the run with a cycle-stamped report")
 		fseed  = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
+		fscan  = flag.Bool("fullscan", false, "arbitrate with full ports-x-VCs scans instead of the event-driven work-lists (oracle mode; output must be identical)")
 		par    = flag.Int("parallel-mesh", 1, "step the switch through the explicit two-phase compute/commit path (any value != 1); a single switch has nothing to shard, but output must be identical")
 	)
 	flag.Parse()
@@ -49,13 +50,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "switchsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF, *par); err != nil {
+	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF, *par, *fscan); err != nil {
 		fmt.Fprintf(os.Stderr, "switchsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool, parallel int) error {
+func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool, parallel int, fullScan bool) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -76,6 +77,7 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 	if err != nil {
 		return err
 	}
+	r.SetFullScan(fullScan)
 	spec, err := fault.Parse(faults)
 	if err != nil {
 		return err
@@ -213,6 +215,12 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 	}
 	fmt.Printf("switch: %d inputs -> 1 output, arb=%s, drain p=%.2f, %d cycles\n",
 		inputs, arb, drainP, cycles)
+	mode := "work-list"
+	if fullScan {
+		mode = "full-scan"
+	}
+	fmt.Printf("arbitration: %s, %.2f arbitration sites visited/cycle (switch holds %d ports*VCs cells)\n",
+		mode, float64(r.TakeCellsVisited())/float64(cycles), ports*vcs)
 	if fc := finj.Counters(); fc != (fault.Counters{}) || malformed > 0 {
 		fmt.Printf("faults: %d stall cycles, %d dropped flits, %d corrupted flits, %d malformed packets\n",
 			fc.StallCycles, fc.Dropped, fc.Corrupted, malformed)

@@ -21,6 +21,11 @@ type Pool struct {
 	tasks   chan poolTask
 	stop    chan struct{}
 	wg      sync.WaitGroup
+	// donePool recycles Do's completion WaitGroups. A stack-declared
+	// WaitGroup escapes through the task channel and costs one heap
+	// allocation per Do — per cycle on the sharded mesh stepping path,
+	// which must run allocation-free in steady state.
+	donePool sync.Pool
 }
 
 type poolTask struct {
@@ -68,15 +73,19 @@ func (p *Pool) Do(tasks ...func()) {
 	if len(tasks) == 0 {
 		return
 	}
-	var done sync.WaitGroup
+	done, _ := p.donePool.Get().(*sync.WaitGroup)
+	if done == nil {
+		done = new(sync.WaitGroup)
+	}
 	done.Add(len(tasks))
 	for _, fn := range tasks[:len(tasks)-1] {
-		p.tasks <- poolTask{fn: fn, done: &done}
+		p.tasks <- poolTask{fn: fn, done: done}
 	}
 	last := tasks[len(tasks)-1]
 	last()
 	done.Done()
 	done.Wait()
+	p.donePool.Put(done)
 }
 
 // Close stops the workers and waits for them to exit. Close must not

@@ -9,7 +9,7 @@ package noc
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"repro/internal/exec"
 	"repro/internal/flit"
@@ -29,6 +29,11 @@ const (
 	PortSouth
 	numPorts
 )
+
+// RouterPorts is each mesh router's radix (local + the four mesh
+// directions) — the ports-x-VCs product callers need to relate
+// noc.cells_visited to what a full scan would inspect.
+const RouterPorts = numPorts
 
 // Config configures a Mesh.
 type Config struct {
@@ -60,9 +65,13 @@ type Config struct {
 // into the local input port at one flit per cycle. The queue is a
 // ring-buffer FIFO (not a slice popped with q = q[1:], which keeps
 // every delivered packet reachable at the run's high-water mark) so
-// a burst's memory is returned as it drains.
+// a burst's memory is returned as it drains. buf is the reusable
+// flit materialisation buffer: flits aliases it while a packet is
+// mid-injection (nil otherwise), so the steady state allocates
+// nothing per packet.
 type injState struct {
 	queue  queue.PacketQueue
+	buf    []flit.Flit
 	flits  []flit.Flit
 	next   int
 	vc     int
@@ -78,51 +87,70 @@ type pktMeta struct {
 	length int
 }
 
-// idSet tracks which node ids are active: a membership bitmap plus an
-// id list, sorted lazily before iteration so additions (which arrive
-// in commit order, not id order) stay O(1).
+// idSet tracks which node ids are active as a packed bitmap: word
+// iteration yields members in ascending id order for free, so
+// additions (which arrive in commit order, not id order) never need a
+// sort. sorted materialises the members into a scratch slice reused
+// across cycles.
 type idSet struct {
-	ids    []int
-	member []bool
-	dirty  bool
+	words   []uint64
+	n       int
+	scratch []int
 }
 
-func newIDSet(n int) *idSet { return &idSet{member: make([]bool, n)} }
+func newIDSet(n int) *idSet { return &idSet{words: make([]uint64, (n+63)/64)} }
 
 func (s *idSet) add(id int) {
-	if s.member[id] {
-		return
+	w := &s.words[id>>6]
+	b := uint64(1) << uint(id&63)
+	if *w&b == 0 {
+		*w |= b
+		s.n++
 	}
-	s.member[id] = true
-	s.ids = append(s.ids, id)
-	s.dirty = true
 }
 
-// sorted returns the member ids in ascending order. The slice is
-// owned by the set; do not retain it across add/prune.
+// sorted returns the member ids in ascending order. The slice is the
+// set's scratch buffer: stable across add/prune, overwritten by the
+// next sorted call.
 func (s *idSet) sorted() []int {
-	if s.dirty {
-		sort.Ints(s.ids)
-		s.dirty = false
-	}
-	return s.ids
-}
-
-// prune drops every member for which keep returns false, preserving
-// order.
-func (s *idSet) prune(keep func(id int) bool) {
-	kept := s.ids[:0]
-	for _, id := range s.ids {
-		if keep(id) {
-			kept = append(kept, id)
-		} else {
-			s.member[id] = false
+	ids := s.scratch[:0]
+	for wi, w := range s.words {
+		for w != 0 {
+			ids = append(ids, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
 		}
 	}
-	s.ids = kept
+	s.scratch = ids
+	return ids
 }
 
-func (s *idSet) len() int { return len(s.ids) }
+// forEach calls fn for every member in ascending order without
+// materialising a slice.
+func (s *idSet) forEach(fn func(id int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// prune drops every member for which keep returns false.
+func (s *idSet) prune(keep func(id int) bool) {
+	for wi := range s.words {
+		w := s.words[wi]
+		for w != 0 {
+			id := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if !keep(id) {
+				s.words[wi] &^= 1 << uint(id&63)
+				s.n--
+			}
+		}
+	}
+}
+
+func (s *idSet) len() int { return s.n }
 
 // Mesh is a K x K wormhole mesh (or torus, when Config.Torus is set).
 //
@@ -164,12 +192,26 @@ type Mesh struct {
 	shardBound []int
 	shardCycle int64
 
+	// sched is a min-heap of future injections (SendAt), ordered by
+	// (cycle, submission order); schedSeq breaks same-cycle ties so
+	// release order matches submission order deterministically.
+	sched    []schedSend
+	schedSeq int64
+	// noSkip disables idle-gap time skipping in Run/Drain (oracle mode
+	// for the skip-vs-step identity tests; see SetTimeSkip).
+	noSkip bool
+	// skipped counts cycles jumped over by time skipping.
+	skipped int64
+
 	// obs handles (nil unless RegisterObs was called).
 	obsCycles          *obs.Counter
 	obsComputes        *obs.Counter
 	obsActiveRouters   *obs.Gauge
 	obsActiveRoutersHW *obs.Gauge
 	obsActiveInjectors *obs.Gauge
+	obsCellsVisited    *obs.Counter
+	obsWorklistLen     *obs.Gauge
+	obsCyclesSkipped   *obs.Counter
 
 	// Latency accumulates end-to-end packet latencies (inject of head
 	// flit enqueued -> tail flit ejected).
@@ -208,6 +250,13 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	for id := 0; id < n; id++ {
 		id := id
 		m.allIDs[id] = id
+		// Dimension-order routing is static, so each router gets a
+		// precomputed dst -> output-port table (n bytes per router)
+		// instead of redoing the coordinate math per head flit.
+		tab := make([]uint8, n)
+		for dst := 0; dst < n; dst++ {
+			tab[dst] = uint8(m.route(id, dst))
+		}
 		rcfg := wormhole.Config{
 			Ports:          numPorts,
 			VCs:            cfg.VCs,
@@ -215,7 +264,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 			SharedBufFlits: cfg.SharedBufFlits,
 			SharedBufCap:   cfg.SharedBufCap,
 			NewArb:         cfg.NewArb,
-			Route:          func(dst int) int { return m.route(id, dst) },
+			Route:          func(dst int) int { return int(tab[dst]) },
 		}
 		if cfg.Torus {
 			rcfg.OutVC = func(outPort int, head flit.Flit, inPort, inVC int) int {
@@ -405,6 +454,70 @@ func (m *Mesh) Send(src, dst, length int) {
 	m.activeI.add(src)
 }
 
+// schedSend is a future injection queued by SendAt.
+type schedSend struct {
+	at, seq          int64
+	src, dst, length int
+}
+
+// schedLess orders the SendAt heap by release cycle, then submission
+// order.
+func schedLess(a, b schedSend) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// SendAt schedules Send(src, dst, length) for the start of cycle at.
+// Due sends are released in submission order before each step, so a
+// schedule is equivalent to calling Send at exactly those cycles —
+// and it is what tells Run and Drain how far they may jump when the
+// network goes quiet between bursts (idle-gap time skipping).
+func (m *Mesh) SendAt(at int64, src, dst, length int) {
+	if at <= m.cycle {
+		m.Send(src, dst, length)
+		return
+	}
+	m.sched = append(m.sched, schedSend{at: at, seq: m.schedSeq, src: src, dst: dst, length: length})
+	m.schedSeq++
+	// Sift up.
+	i := len(m.sched) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !schedLess(m.sched[i], m.sched[p]) {
+			break
+		}
+		m.sched[i], m.sched[p] = m.sched[p], m.sched[i]
+		i = p
+	}
+}
+
+// releaseDue pops every scheduled send due at or before the current
+// cycle, in (cycle, submission) order.
+func (m *Mesh) releaseDue() {
+	for len(m.sched) > 0 && m.sched[0].at <= m.cycle {
+		s := m.sched[0]
+		n := len(m.sched) - 1
+		m.sched[0] = m.sched[n]
+		m.sched = m.sched[:n]
+		// Sift down.
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && schedLess(m.sched[c+1], m.sched[c]) {
+				c++
+			}
+			if !schedLess(m.sched[c], m.sched[i]) {
+				break
+			}
+			m.sched[i], m.sched[c] = m.sched[c], m.sched[i]
+			i = c
+		}
+		m.Send(s.src, s.dst, s.length)
+	}
+}
+
 // PendingAt returns the number of packets queued or mid-injection at
 // node src.
 func (m *Mesh) PendingAt(src int) int {
@@ -434,17 +547,69 @@ func (m *Mesh) SetPool(p *exec.Pool) { m.pool = p }
 // compare against, since a skipped router must be a strict no-op.
 func (m *Mesh) SetFullIteration(on bool) { m.fullIter = on }
 
+// SetFullScan, when on, makes every router arbitrate with the
+// original full ports-x-VCs scans instead of the event-driven
+// work-lists (wormhole.Router.SetFullScan) — the oracle mode for the
+// work-list differential tests. Artifacts must be byte-identical
+// either way.
+func (m *Mesh) SetFullScan(on bool) {
+	for _, r := range m.routers {
+		r.SetFullScan(on)
+	}
+}
+
+// SetTimeSkip enables (default) or disables idle-gap time skipping in
+// Run and Drain. Skipping only ever jumps over cycles in which no
+// router is runnable, no injector holds traffic, and no scheduled
+// send comes due — cycles that are provably strict no-ops — so a
+// skipped run is cycle-stamp-identical to a stepped one.
+func (m *Mesh) SetTimeSkip(on bool) { m.noSkip = !on }
+
+// Skipped returns the number of idle cycles jumped over by time
+// skipping.
+func (m *Mesh) Skipped() int64 { return m.skipped }
+
+// canSkip reports whether the next cycle would be a strict no-op
+// absent a scheduled send coming due.
+func (m *Mesh) canSkip() bool {
+	return !m.noSkip && m.activeR.len() == 0 && m.activeI.len() == 0
+}
+
+// skipTo jumps the cycle counter to c without stepping. Only call
+// when every skipped cycle is a no-op; the obs cycle counter advances
+// as if the cycles had been stepped (with zero computes), so stepped
+// and skipped runs expose identical stepping telemetry.
+func (m *Mesh) skipTo(c int64) {
+	k := c - m.cycle
+	if k <= 0 {
+		return
+	}
+	m.cycle = c
+	m.skipped += k
+	if m.obsCycles != nil {
+		m.obsCycles.Add(k)
+		m.obsCyclesSkipped.Add(k)
+	}
+}
+
 // RegisterObs wires the mesh's stepping telemetry into reg:
 // noc.cycles and noc.router_computes counters (their ratio is the
-// average active-set occupancy — the work quiescence saves), and
+// average active-set occupancy — the work quiescence saves),
 // noc.active_routers / noc.active_routers_high_water /
-// noc.active_injectors gauges.
+// noc.active_injectors gauges, plus the work-list economy metrics:
+// noc.cells_visited (arbitration sites inspected; compare against
+// ports*VCs*router_computes for the scan work saved), noc.worklist_len
+// (pending cells across the active set at end of cycle), and
+// noc.cycles_skipped (idle cycles jumped by time skipping).
 func (m *Mesh) RegisterObs(reg *obs.Registry) {
 	m.obsCycles = reg.Counter("noc.cycles")
 	m.obsComputes = reg.Counter("noc.router_computes")
 	m.obsActiveRouters = reg.Gauge("noc.active_routers")
 	m.obsActiveRoutersHW = reg.Gauge("noc.active_routers_high_water")
 	m.obsActiveInjectors = reg.Gauge("noc.active_injectors")
+	m.obsCellsVisited = reg.Counter("noc.cells_visited")
+	m.obsWorklistLen = reg.Gauge("noc.worklist_len")
+	m.obsCyclesSkipped = reg.Counter("noc.cycles_skipped")
 }
 
 // Step advances the whole mesh by one cycle (sharding compute across
@@ -459,6 +624,7 @@ func (m *Mesh) Step() { m.step(m.pool) }
 func (m *Mesh) StepParallel(p *exec.Pool) { m.step(p) }
 
 func (m *Mesh) step(pool *exec.Pool) {
+	m.releaseDue()
 	m.injectPhase()
 	ids := m.activeR.sorted()
 	if m.fullIter {
@@ -487,7 +653,17 @@ func (m *Mesh) step(pool *exec.Pool) {
 	for _, id := range ids {
 		m.fx[id].Apply()
 	}
-	m.activeR.prune(func(id int) bool { return m.routers[id].Busy() })
+	// Retire routers with nothing runnable. Stricter than Busy(): a
+	// router still holding hard-blocked worms is pruned too, because
+	// every hard block resolves through an instrumented event
+	// (acceptFlit, creditArrived) that re-registers it via onActive.
+	m.activeR.prune(func(id int) bool {
+		if m.routers[id].Runnable() {
+			return true
+		}
+		m.routers[id].ClearActiveHint()
+		return false
+	})
 	m.cycle++
 	if m.obsCycles != nil {
 		m.obsCycles.Inc()
@@ -496,6 +672,16 @@ func (m *Mesh) step(pool *exec.Pool) {
 		m.obsActiveRouters.Set(n)
 		m.obsActiveRoutersHW.SetMax(n)
 		m.obsActiveInjectors.Set(int64(m.activeI.len()))
+		var visited int64
+		for _, id := range ids {
+			visited += m.routers[id].TakeCellsVisited()
+		}
+		m.obsCellsVisited.Add(visited)
+		var wl int64
+		m.activeR.forEach(func(id int) {
+			wl += int64(m.routers[id].WorklistLen())
+		})
+		m.obsWorklistLen.Set(wl)
 	}
 }
 
@@ -508,7 +694,8 @@ func (m *Mesh) injectPhase() {
 		st := &m.inj[id]
 		if st.flits == nil && !st.queue.Empty() {
 			p := st.queue.Pop()
-			st.flits = p.Flits()
+			st.buf = p.AppendFlits(st.buf[:0])
+			st.flits = st.buf
 			st.next = 0
 			// Torus packets must start in the lower (pre-dateline)
 			// half of the VCs.
@@ -572,23 +759,54 @@ func (m *Mesh) computeSharded(pool *exec.Pool, ids []int) {
 	pool.Do(m.shardTasks...)
 }
 
-// Run advances the mesh by n cycles.
+// Run advances the mesh by n cycles. When the network is completely
+// idle — no runnable router, no injector traffic — and the next
+// scheduled send (SendAt) is known, the cycle counter jumps straight
+// to it instead of stepping provably-empty cycles; the run is
+// cycle-stamp-identical to a stepped one (SetTimeSkip(false) restores
+// literal stepping).
 func (m *Mesh) Run(n int64) {
-	for i := int64(0); i < n; i++ {
+	end := m.cycle + n
+	for m.cycle < end {
+		if m.canSkip() {
+			next := end
+			if len(m.sched) > 0 && m.sched[0].at < end {
+				next = m.sched[0].at
+			}
+			if next > m.cycle {
+				m.skipTo(next)
+				continue
+			}
+		}
 		m.Step()
 	}
 }
 
-// Drain steps until every in-flight packet is delivered or maxCycles
-// elapse; it reports whether the network drained.
+// Drain steps until every in-flight packet is delivered (and every
+// scheduled send released) or maxCycles elapse; it reports whether
+// the network drained. Idle gaps are time-skipped exactly as in Run;
+// in particular a wedged-but-quiet network (flits leaked by fault
+// injection, nothing runnable and no event pending) jumps to the
+// cycle horizon at once, since no amount of stepping would move it.
 func (m *Mesh) Drain(maxCycles int64) bool {
-	for i := int64(0); i < maxCycles; i++ {
-		if m.InFlight() == 0 {
+	end := m.cycle + maxCycles
+	for m.cycle < end {
+		if m.InFlight() == 0 && len(m.sched) == 0 {
 			return true
+		}
+		if m.canSkip() {
+			next := end
+			if len(m.sched) > 0 && m.sched[0].at < end {
+				next = m.sched[0].at
+			}
+			if next > m.cycle {
+				m.skipTo(next)
+				continue
+			}
 		}
 		m.Step()
 	}
-	return m.InFlight() == 0
+	return m.InFlight() == 0 && len(m.sched) == 0
 }
 
 // Router returns the router of a node (tests, instrumentation).

@@ -123,6 +123,10 @@ var stepVariants = []struct {
 		m.SetFullIteration(true)
 		return m.Step, nil
 	}},
+	{"router-fullscan", false, func(m *Mesh) (func(), func()) {
+		m.SetFullScan(true)
+		return m.Step, nil
+	}},
 	{"pool-1", true, func(m *Mesh) (func(), func()) {
 		p := exec.NewPool(1)
 		return func() { m.StepParallel(p) }, p.Close

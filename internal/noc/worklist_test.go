@@ -1,0 +1,314 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/flit"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// runOracleRun drives one fixed injector scenario on a mesh built from
+// cfg — optionally with faults, optionally in full-scan oracle mode —
+// and returns the run's artifacts. It is the work-list counterpart of
+// runStepVariant: the two modes must differ only in which arbitration
+// cells Compute visits, never in what the network does.
+func runOracleRun(t *testing.T, cfg Config, faultSpec string, fullScan bool, cycles int) runArtifacts {
+	t.Helper()
+	m, err := NewMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.RegisterObs(reg)
+	m.SetFullScan(fullScan)
+	if faultSpec != "" {
+		spec, err := fault.Parse(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InstallFaults(fault.New(spec, 99))
+	}
+	var log []delivRec
+	for id := range m.sinks {
+		id := id
+		s := m.sinks[id]
+		prev := s.OnFlit
+		s.OnFlit = func(f flit.Flit, vc int, cycle int64) {
+			log = append(log, delivRec{node: id, flow: f.Flow, seq: f.Seq,
+				vc: vc, kind: f.Kind, pkt: f.PktID, cycle: cycle})
+			if prev != nil {
+				prev(f, vc, cycle)
+			}
+		}
+	}
+	inj := NewInjector(m, 0.15, Uniform{Nodes: m.Nodes()}, rng.NewUniform(1, 6), rng.New(7))
+	for c := 0; c < cycles; c++ {
+		inj.Step()
+		m.Step()
+	}
+	for i := 0; i < 6000 && m.InFlight() > 0; i++ {
+		m.Step()
+	}
+	return runArtifacts{
+		log:      log,
+		packets:  append([]int64(nil), m.DeliveredPackets...),
+		flits:    append([]int64(nil), m.DeliveredFlits...),
+		cycle:    m.Cycle(),
+		inFlight: m.InFlight(),
+		latN:     m.Latency.N(),
+		latMean:  m.Latency.Mean(),
+		latVar:   m.Latency.Var(),
+		latMin:   m.Latency.Min(),
+		latMax:   m.Latency.Max(),
+		obs:      reg.Snapshot(),
+	}
+}
+
+// TestWorklistMatchesFullScanDAMQ pins the work-list oracle on the
+// configuration its quiescence analysis is most fragile for: DAMQ
+// shared-buffer inputs, whose stop/go gates can change answers without
+// any credit event, so gated outputs must keep polling instead of
+// quiescing. The work-list and full-scan runs must be byte-identical
+// in every simulation artifact (telemetry legitimately differs:
+// noc.cells_visited counts the scan work the work-list saves).
+func TestWorklistMatchesFullScanDAMQ(t *testing.T) {
+	cfg := Config{K: 4, VCs: 2, BufFlits: 2, SharedBufFlits: 16, SharedBufCap: 12,
+		NewArb: func() sched.Scheduler { return core.New() }}
+	base := runOracleRun(t, cfg, "", true, 2500)
+	if base.latN == 0 || base.inFlight != 0 {
+		t.Fatalf("scenario degenerate: %d packets, %d in flight", base.latN, base.inFlight)
+	}
+	got := runOracleRun(t, cfg, "", false, 2500)
+	assertArtifactsEqual(t, "worklist-vs-fullscan-damq", base, got, false)
+}
+
+// TestWorklistMatchesFullScanTorusFaults is the adversarial work-list
+// oracle: a torus under stalls, drops, corruption, and a freeze. Every
+// fault pathway mutates allocation state out from under the pending
+// masks (a stalled link polls, a dropped tail wedges the downstream
+// worm forever, a frozen router skips Compute entirely), and each must
+// leave the work-list agreeing with the full scan flit for flit.
+func TestWorklistMatchesFullScanTorusFaults(t *testing.T) {
+	const spec = "stall(port=1,at=100,dur=200);drop(router=5,port=1,p=0.05);corrupt(router=10,p=0.05);freeze(router=6,at=300,dur=400)"
+	cfg := Config{K: 4, VCs: 4, BufFlits: 4, Torus: true,
+		NewArb: func() sched.Scheduler { return core.New() }}
+	base := runOracleRun(t, cfg, spec, true, 2500)
+	if base.latN == 0 {
+		t.Fatal("scenario degenerate: nothing delivered")
+	}
+	got := runOracleRun(t, cfg, spec, false, 2500)
+	assertArtifactsEqual(t, "worklist-vs-fullscan-faults", base, got, false)
+}
+
+// timeSkipScenario schedules three bursts separated by long idle gaps
+// — the regime idle-gap skipping exists for — then runs and drains.
+func timeSkipScenario(t *testing.T, skip bool) (runArtifacts, int64) {
+	t.Helper()
+	m, err := NewMesh(Config{K: 4, VCs: 2, BufFlits: 4,
+		NewArb: func() sched.Scheduler { return core.New() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.RegisterObs(reg)
+	m.SetTimeSkip(skip)
+	var log []delivRec
+	for id := range m.sinks {
+		id := id
+		s := m.sinks[id]
+		s.OnFlit = func(f flit.Flit, vc int, cycle int64) {
+			log = append(log, delivRec{node: id, flow: f.Flow, seq: f.Seq,
+				vc: vc, kind: f.Kind, pkt: f.PktID, cycle: cycle})
+		}
+	}
+	src := rng.New(21)
+	for burst := 0; burst < 3; burst++ {
+		at := int64(burst * 5000)
+		for i := 0; i < 12; i++ {
+			s, d := src.Intn(m.Nodes()), src.Intn(m.Nodes())
+			if s == d {
+				d = (d + 1) % m.Nodes()
+			}
+			m.SendAt(at+int64(src.Intn(20)), s, d, src.IntRange(1, 6))
+		}
+	}
+	m.Run(12_000)
+	if !m.Drain(5_000) {
+		t.Fatal("network did not drain")
+	}
+	art := runArtifacts{
+		log:      log,
+		packets:  append([]int64(nil), m.DeliveredPackets...),
+		flits:    append([]int64(nil), m.DeliveredFlits...),
+		cycle:    m.Cycle(),
+		inFlight: m.InFlight(),
+		latN:     m.Latency.N(),
+		latMean:  m.Latency.Mean(),
+		latVar:   m.Latency.Var(),
+		latMin:   m.Latency.Min(),
+		latMax:   m.Latency.Max(),
+		obs:      reg.Snapshot(),
+	}
+	return art, m.Skipped()
+}
+
+// TestRunTimeSkipMatchesStepped pins the time-skip contract: jumping
+// the cycle counter over provably idle gaps must be cycle-stamp
+// identical to literally stepping them — every delivered flit lands at
+// the same (node, vc, cycle), every latency sample is the same float,
+// and the final cycle counter agrees. Only noc.cycles_skipped may
+// differ, and the skipping run must actually have skipped something.
+func TestRunTimeSkipMatchesStepped(t *testing.T) {
+	stepped, skippedOff := timeSkipScenario(t, false)
+	if stepped.latN == 0 {
+		t.Fatal("scenario degenerate: nothing delivered")
+	}
+	if skippedOff != 0 {
+		t.Fatalf("SetTimeSkip(false) still skipped %d cycles", skippedOff)
+	}
+	skipped, skippedOn := timeSkipScenario(t, true)
+	if skippedOn == 0 {
+		t.Fatal("time skipping never engaged on a bursty scenario with 5000-cycle gaps")
+	}
+	assertArtifactsEqual(t, "timeskip-vs-stepped", stepped, skipped, false)
+	// The telemetry the oracle above masks out: both runs must report
+	// the same stepped-cycle total even though one jumped most of them.
+	if a, b := stepped.obs.Counters["noc.cycles"], skipped.obs.Counters["noc.cycles"]; a != b {
+		t.Errorf("obs cycle counters diverge: stepped %d, skipped %d", a, b)
+	}
+}
+
+// TestFaultFrozenRouterWorklist pins the interaction the work-lists
+// are most easily broken by: a frozen router skips Compute, so its
+// pending bits go stale while neighbours keep pushing flits at it.
+// When the freeze lifts, those cells must still be on the work-list
+// (events must register on frozen routers, not be dropped), or the
+// network wedges with traffic no scan will ever revisit.
+func TestFaultFrozenRouterWorklist(t *testing.T) {
+	cfg := Config{K: 4, VCs: 2, BufFlits: 4,
+		NewArb: func() sched.Scheduler { return core.New() }}
+	for _, fullScan := range []bool{false, true} {
+		m, err := NewMesh(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		m.RegisterObs(reg)
+		m.SetFullScan(fullScan)
+		spec, err := fault.Parse("freeze(router=5,at=50,dur=600)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InstallFaults(fault.New(spec, 3))
+		// Route worms straight through the frozen router (node 5 =
+		// (1,1)): row 1 traffic crossing it while it is down.
+		src := rng.New(9)
+		for c := 0; c < 400; c++ {
+			if c%10 == 0 {
+				m.Send(m.NodeID(0, 1), m.NodeID(3, 1), src.IntRange(1, 6))
+			}
+			m.Step()
+		}
+		if !m.Drain(5_000) {
+			t.Fatalf("fullScan=%v: traffic stranded behind a thawed router; %d in flight (cells dropped from the work-list while frozen?)",
+				fullScan, m.InFlight())
+		}
+		// Everything delivered: the active set must be empty again, or
+		// idle routers poll forever and time skipping never re-engages.
+		if got := reg.Gauge("noc.active_routers").Value(); got != 0 {
+			t.Errorf("fullScan=%v: %d routers still active after drain", fullScan, got)
+		}
+	}
+}
+
+// FuzzMeshWorklistOracle feeds arbitrary send scripts to the
+// work-list and full-scan stepping modes and requires byte-identical
+// delivery logs — a coverage-guided search for a traffic shape whose
+// quiescence analysis drops an event. Run with
+// `go test -fuzz FuzzMeshWorklistOracle ./internal/noc`.
+func FuzzMeshWorklistOracle(f *testing.F) {
+	f.Add([]byte{0x01, 0x53, 0x22, 0x90, 0x07})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00})
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80, 0x90})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		run := func(fullScan bool) ([]delivRec, int64) {
+			m, err := NewMesh(Config{K: 3, VCs: 2, BufFlits: 2,
+				NewArb: func() sched.Scheduler { return core.New() }})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetFullScan(fullScan)
+			var log []delivRec
+			for id := range m.sinks {
+				id := id
+				m.sinks[id].OnFlit = func(fl flit.Flit, vc int, cycle int64) {
+					log = append(log, delivRec{node: id, flow: fl.Flow, seq: fl.Seq,
+						vc: vc, kind: fl.Kind, pkt: fl.PktID, cycle: cycle})
+				}
+			}
+			// Each input triple is one send: (cycle gap, src/dst nibble
+			// pair, length). Gaps above 200 exercise idle stretches.
+			at := int64(0)
+			for i := 0; i+2 < len(data); i += 3 {
+				at += int64(data[i])
+				src := int(data[i+1]>>4) % m.Nodes()
+				dst := int(data[i+1]&0xf) % m.Nodes()
+				if src == dst {
+					dst = (dst + 1) % m.Nodes()
+				}
+				m.SendAt(at, src, dst, 1+int(data[i+2]%6))
+			}
+			m.Run(at + 1)
+			m.Drain(20_000)
+			return log, m.Cycle()
+		}
+		wantLog, wantCycle := run(true)
+		gotLog, gotCycle := run(false)
+		if wantCycle != gotCycle {
+			t.Fatalf("final cycles diverge: full-scan %d, work-list %d", wantCycle, gotCycle)
+		}
+		if len(wantLog) != len(gotLog) {
+			t.Fatalf("delivery counts diverge: full-scan %d, work-list %d", len(wantLog), len(gotLog))
+		}
+		for i := range wantLog {
+			if wantLog[i] != gotLog[i] {
+				t.Fatalf("delivery %d diverges: full-scan %+v, work-list %+v", i, wantLog[i], gotLog[i])
+			}
+		}
+	})
+}
+
+// TestMeshStepAllocsZero gates the zero-allocation steady state at the
+// mesh level: once warm, a saturated Mesh.Step cycle — forwarding,
+// delivery, credit return, latency accounting, active-set maintenance
+// — must not allocate. Telemetry is wired, since the production path
+// always runs with it.
+func TestMeshStepAllocsZero(t *testing.T) {
+	m, err := NewMesh(Config{K: 8, VCs: 2, BufFlits: 8,
+		NewArb: func() sched.Scheduler { return core.New() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterObs(obs.NewRegistry())
+	inj := NewInjector(m, 0.30, Uniform{Nodes: m.Nodes()}, rng.NewUniform(1, 8), rng.New(5))
+	inj.MaxPending = 4
+	for c := 0; c < 2000; c++ {
+		inj.Step()
+		m.Step()
+	}
+	if m.InFlight() == 0 {
+		t.Fatal("warm phase did not saturate the mesh")
+	}
+	// Deep backlog: thousands of flits keep every router busy for far
+	// longer than the measurement window, with no injector in the loop.
+	if got := testing.AllocsPerRun(100, func() { m.Step() }); got != 0 {
+		t.Errorf("Mesh.Step allocates %.1f times per cycle in steady state, want 0", got)
+	}
+}

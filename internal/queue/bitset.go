@@ -1,0 +1,80 @@
+package queue
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set over [0, n) backed by packed words,
+// built for the intrusive work-lists of the wormhole router's
+// event-driven arbitration: Set/Clear/Test are O(1), and iterating
+// the members in ascending order costs O(words + population) — the
+// property that lets a work-list visit exactly the cells a full
+// ascending scan would have visited, in the same order, while paying
+// only for the cells actually enqueued.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns a Bitset over [0, n).
+func NewBitset(n int) Bitset {
+	return Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports whether i is in the set.
+func (b *Bitset) Test(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Any reports whether the set is non-empty.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of members.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset removes every member.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Words exposes the backing words for allocation-free ascending
+// iteration in hot loops:
+//
+//	for wi, w := range b.Words() {
+//		for w != 0 {
+//			i := wi<<6 + bits.TrailingZeros64(w)
+//			w &= w - 1
+//			...
+//		}
+//	}
+//
+// Mutating bit i of word wi while iterating a copied word is safe;
+// the iteration sees the copy.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// ForEach calls fn for every member in ascending order (cold paths;
+// hot loops should inline over Words).
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package queue
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("Test(%d) false after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	b.Set(63) // idempotent
+	if got := b.Count(); got != 8 {
+		t.Errorf("Count after duplicate Set = %d, want 8", got)
+	}
+	b.Clear(63)
+	b.Clear(63) // idempotent
+	if b.Test(63) || b.Count() != 7 {
+		t.Errorf("Clear(63): Test=%v Count=%d", b.Test(63), b.Count())
+	}
+	if !b.Any() {
+		t.Error("Any false on non-empty set")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Error("Reset left members behind")
+	}
+}
+
+// TestBitsetAscendingOrder pins the property the router work-lists
+// depend on: iteration yields members in ascending order — exactly
+// the cells a full ascending scan would visit, in the same order.
+func TestBitsetAscendingOrder(t *testing.T) {
+	b := NewBitset(512)
+	want := []int{}
+	src := rand.New(rand.NewSource(3))
+	member := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		v := src.Intn(512)
+		if !member[v] {
+			member[v] = true
+			b.Set(v)
+		}
+	}
+	for i := 0; i < 512; i++ {
+		if member[i] {
+			want = append(want, i)
+		}
+	}
+	got := []int{}
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach yielded %d members, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("member %d: got %d, want %d (not ascending?)", i, got[i], want[i])
+		}
+	}
+	// The hot-loop idiom over Words() must agree with ForEach.
+	got2 := []int{}
+	for wi, w := range b.Words() {
+		for w != 0 {
+			got2 = append(got2, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("Words iteration member %d: got %d, want %d", i, got2[i], want[i])
+		}
+	}
+}

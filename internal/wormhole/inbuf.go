@@ -1,41 +1,40 @@
 package wormhole
 
-import "repro/internal/damq"
+import (
+	"repro/internal/damq"
+	"repro/internal/flit"
+)
 
 // portBuf is the input buffering of one router port: either statically
 // partitioned per-VC FIFOs (the default) or a dynamically allocated
 // multi-queue shared buffer (DAMQ, Tamir & Frazier) — the paper's
 // "a single buffer can implement multiple logical queues". The
 // notified flag (head packet announced to its arbiter) lives here so
-// both modes share the announcement protocol.
+// both modes share the announcement protocol. occVC mirrors per-VC
+// non-emptiness as a bitmask (bit v set <=> VC v holds flits), so the
+// forwarding hot loop answers "is this input empty?" with one word
+// load instead of a FIFO pointer chase.
 type portBuf struct {
-	fifos []*vcFIFO    // static mode
+	fifos []vcFIFO     // per-VC FIFOs; buf nil in shared mode (arr/notif still used)
 	dyn   *damq.Buffer // shared mode
-	notif []bool
+	occVC uint64
 }
 
-func newPortBuf(vcs, bufFlits, sharedFlits, cap int) *portBuf {
-	pb := &portBuf{notif: make([]bool, vcs)}
+func initPortBuf(pb *portBuf, vcs, bufFlits, sharedFlits, cap int) {
+	pb.fifos = make([]vcFIFO, vcs)
 	if sharedFlits > 0 {
 		pb.dyn = damq.New(sharedFlits, vcs, bufFlits)
 		if cap > 0 {
 			pb.dyn.SetCap(cap)
 		}
-		return pb
+		return
 	}
-	pb.fifos = make([]*vcFIFO, vcs)
 	for v := range pb.fifos {
-		pb.fifos[v] = newVCFIFO(bufFlits)
+		pb.fifos[v] = vcFIFO{buf: make([]entry, bufFlits)}
 	}
-	return pb
 }
 
-func (p *portBuf) empty(vc int) bool {
-	if p.dyn != nil {
-		return p.dyn.Empty(vc)
-	}
-	return p.fifos[vc].empty()
-}
+func (p *portBuf) empty(vc int) bool { return p.occVC&(1<<uint(vc)) == 0 }
 
 func (p *portBuf) len(vc int) int {
 	if p.dyn != nil {
@@ -51,22 +50,62 @@ func (p *portBuf) canAccept(vc int) bool {
 	return !p.fifos[vc].full()
 }
 
-func (p *portBuf) push(vc int, e entry) {
+func (p *portBuf) push(vc int, f flit.Flit, arrived int64) {
+	q := &p.fifos[vc]
+	if p.occVC&(1<<uint(vc)) == 0 {
+		q.arr = arrived
+	}
 	if p.dyn != nil {
-		if !p.dyn.Push(vc, e.f, e.arrived) {
+		if !p.dyn.Push(vc, f, arrived) {
 			panic("wormhole: push to full DAMQ queue (flow control violated)")
 		}
-		return
+	} else {
+		// Write the slot in place (vcFIFO.push would copy the entry a
+		// second time — measurable on the injection-heavy commit path).
+		if q.size == len(q.buf) {
+			panic("wormhole: push to full VC FIFO (credit protocol violated)")
+		}
+		i := q.head + q.size
+		if i >= len(q.buf) {
+			i -= len(q.buf)
+		}
+		s := &q.buf[i]
+		s.f = f
+		s.arrived = arrived
+		q.size++
 	}
-	p.fifos[vc].push(e)
+	p.occVC |= 1 << uint(vc)
 }
 
-func (p *portBuf) pop(vc int) entry {
+// popFlit dequeues the head flit of VC vc, discarding its arrival
+// stamp (the forwarding path already consulted peekArrived).
+func (p *portBuf) popFlit(vc int) flit.Flit {
+	q := &p.fifos[vc]
 	if p.dyn != nil {
-		f, meta := p.dyn.Pop(vc)
-		return entry{f: f, arrived: meta}
+		f, _ := p.dyn.Pop(vc)
+		if p.dyn.Empty(vc) {
+			p.occVC &^= 1 << uint(vc)
+		} else {
+			_, m := p.dyn.Peek(vc)
+			q.arr = m
+		}
+		return f
 	}
-	return p.fifos[vc].pop()
+	if q.size == 0 {
+		panic("wormhole: pop from empty VC FIFO")
+	}
+	f := q.buf[q.head].f
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.size--
+	if q.size == 0 {
+		p.occVC &^= 1 << uint(vc)
+	} else {
+		q.arr = q.buf[q.head].arrived
+	}
+	return f
 }
 
 func (p *portBuf) peek(vc int) entry {
@@ -76,3 +115,8 @@ func (p *portBuf) peek(vc int) entry {
 	}
 	return p.fifos[vc].peek()
 }
+
+// peekArrived returns the arrival cycle of the head flit (valid only
+// while the VC is non-empty — callers gate on occVC). The forwarding
+// hot loop consults it for every allocated VC every cycle.
+func (p *portBuf) peekArrived(vc int) int64 { return p.fifos[vc].arr }

@@ -18,8 +18,10 @@ package wormhole
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/flit"
+	"repro/internal/queue"
 	"repro/internal/sched"
 )
 
@@ -35,9 +37,15 @@ type entry struct {
 type vcFIFO struct {
 	buf        []entry
 	head, size int
+	// arr caches the arrival cycle of the head flit (valid only while
+	// the VC is non-empty); notif records that the head packet has
+	// been announced to its output arbiter. Both live here — not in
+	// parallel portBuf arrays — so the forwarding hot loop touches one
+	// cache line per VC. In shared-buffer (DAMQ) mode buf is nil and
+	// only these two fields are used.
+	arr   int64
+	notif bool
 }
-
-func newVCFIFO(capFlits int) *vcFIFO { return &vcFIFO{buf: make([]entry, capFlits)} }
 
 func (q *vcFIFO) empty() bool { return q.size == 0 }
 func (q *vcFIFO) full() bool  { return q.size == len(q.buf) }
@@ -47,7 +55,11 @@ func (q *vcFIFO) push(e entry) {
 	if q.full() {
 		panic("wormhole: push to full VC FIFO (credit protocol violated)")
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = e
+	i := q.head + q.size
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = e
 	q.size++
 }
 
@@ -56,7 +68,10 @@ func (q *vcFIFO) pop() entry {
 		panic("wormhole: pop from empty VC FIFO")
 	}
 	e := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.size--
 	return e
 }
@@ -143,13 +158,36 @@ type Config struct {
 }
 
 // lock is the state of an output port owned by an in-flight packet.
+// Occupancy is not accrued eagerly: since records the grant cycle,
+// and the occupancy billed to the arbiter is cycle-since at the
+// moment the tail flit forwards. The two are identical — the eager
+// counter was incremented exactly once per elapsed cycle, frozen or
+// not — but the lazy form costs nothing per cycle, which is what
+// lets the router skip allocated-but-blocked outputs entirely.
 type lock struct {
-	active    bool
-	port, vc  int // input port and VC the packet occupies
-	outVC     int // VC the packet uses on the output link
-	flow      int
-	occupancy int64
+	active   bool
+	port, vc int // input port and VC the packet occupies
+	outVC    int // VC the packet uses on the output link
+	flow     int
+	since    int64 // cycle the output queue was granted
 }
+
+// outHot packs the per-output state the forwarding hot loop touches
+// every cycle into one small record (see Router.outs).
+type outHot struct {
+	lockCount int32
+	linkRR    int32
+	lockVCs   uint64
+	flags     uint8
+}
+
+// outHot.flags bits: set when a slow-path feature is installed on the
+// output, so the forwarding loop skips the outFault/gateOut loads
+// otherwise.
+const (
+	outHasFault = 1 << iota
+	outHasGate
+)
 
 // Router is one wormhole switch node.
 //
@@ -165,21 +203,28 @@ type lock struct {
 type Router struct {
 	cfg    Config
 	id     int
-	in     []*portBuf          // one input buffer complex per port
-	arbs   [][]sched.Scheduler // [outPort][outVC]
-	locks  [][]lock            // [outPort][outVC]
+	in     []portBuf         // one input buffer complex per port
+	arbs   []sched.Scheduler // arbiter of cell o*VCs+v
+	locks  []lock            // allocation of cell o*VCs+v
 	out    []Endpoint
-	crd    [][]int // credits toward downstream [port][vc]
+	crd    []int // downstream credits of cell o*VCs+v
 	credUp []creditReturn
+	// outR/outPort mirror out for router-to-router links (nil/0 for
+	// endpoint links), and credUpR/credUpPort mirror credUp likewise:
+	// the serial commit phase calls the neighbour router directly
+	// instead of through an interface or closure, which the hot path
+	// pays for every delivered flit and returned credit.
+	outR       []*Router
+	outPort    []int
+	credUpR    []*Router
+	credUpPort []int
 	// gateOut[o], when non-nil, is the stop/go space query used
 	// instead of credits on links into shared-buffer routers.
 	gateOut []func(vc int) bool
 
-	// eligible[o][v] counts flows currently registered with arbs[o][v].
-	eligible [][]int
-	// linkRR[o] is the round-robin pointer of output o's flit-level
-	// link multiplexer.
-	linkRR []int
+	// eligible[o*VCs+v] counts flows currently registered with that
+	// cell's arbiter.
+	eligible []int
 	// usedInput is scratch: which input ports moved a flit this cycle.
 	usedInput []bool
 
@@ -193,16 +238,60 @@ type Router struct {
 	FaultDropped int64
 
 	// work counts buffered flits plus active output allocations — the
-	// router's quiescence measure. work == 0 means a Step/Compute is a
-	// strict no-op (nothing to forward, nothing to grant, no occupancy
-	// to accrue), which is what lets a mesh skip idle routers entirely.
+	// router's content measure. work == 0 means the router is empty.
 	// Eligible announcements need no separate term: eligible > 0
 	// implies a buffered head flit, already counted.
 	work int
-	// onActive, when non-nil, fires on the work 0->1 transition (the
-	// only such transition is a flit arriving via acceptFlit). The mesh
-	// uses it to re-register the router on its active set.
+	// onActive, when non-nil, fires whenever an externally applied
+	// event (flit arrival, credit return) leaves the router Runnable.
+	// The mesh uses it to re-register the router on its active set.
+	// It never fires from inside Compute, which keeps the sharded
+	// compute phase free of cross-router writes.
 	onActive func()
+	// activeHint records that onActive already fired and the owner has
+	// not yet pruned this router, so the (idempotent) hook and the
+	// Runnable probe are skipped on the many arrivals a busy router
+	// sees per cycle. ClearActiveHint re-arms it.
+	activeHint bool
+
+	// The event-driven work-lists. pendingOut holds the output ports
+	// whose allocated packets may be able to forward a flit; grantable
+	// holds the cells o*VCs+v with an idle output queue and at least
+	// one eligible flow (invariant: bit set <=> !locks[o][v].active &&
+	// eligible[o][v] > 0). A cell leaves pendingOut only when every
+	// allocated VC on the output is hard-blocked — input FIFO empty or
+	// downstream credits exhausted — conditions that can only change
+	// through an instrumented event (acceptFlit, creditArrived,
+	// grantCell). Soft blocks (link contention via usedInput, a flit
+	// that arrived this cycle, a stop/go gate, an installed output
+	// fault) keep the output pending conservatively.
+	pendingOut queue.Bitset
+	grantable  queue.Bitset
+	// outs[o] packs the per-output state the forwarding loop touches
+	// every cycle: the count and VC bitmask of active locks (so an
+	// idle output quiesces without touching its VCs and the link
+	// multiplexer walks only allocated VCs), the multiplexer's
+	// round-robin pointer, and the fault/gate presence flags that
+	// spare the common case the outFault/gateOut loads.
+	outs []outHot
+	// inLockOut maps port*VCs+vc to the output whose active lock
+	// drains that input VC (-1 when none), so a flit arriving into an
+	// empty locked FIFO re-enqueues the right output.
+	inLockOut []int32
+	// usedList records which usedInput entries were set this cycle, so
+	// the reset is proportional to forwards, not ports.
+	usedList []int
+	// fullScan, when set, makes Compute run the original full
+	// ports-x-VCs scans (maintaining the same work-list state) — the
+	// oracle the differential tests compare work-list stepping against.
+	fullScan bool
+	// cellsVisited counts arbitration sites inspected by Compute (obs
+	// telemetry: the work the work-lists save is visible as the gap
+	// between this and ports*VCs*cycles).
+	cellsVisited int64
+	// lastCycle is the most recent cycle passed to Compute (DumpState
+	// uses it to render lazy occupancies).
+	lastCycle int64
 
 	// scratch is Step's private effect buffer, reused across cycles.
 	scratch Effects
@@ -221,6 +310,11 @@ func NewRouter(id int, cfg Config) (*Router, error) {
 	if cfg.Ports < 1 || cfg.VCs < 1 || cfg.BufFlits < 1 {
 		return nil, fmt.Errorf("wormhole: invalid config %+v", cfg)
 	}
+	if cfg.VCs > 64 {
+		// The per-port occupancy and per-output allocation bitmasks
+		// pack VC state into single words.
+		return nil, fmt.Errorf("wormhole: %d VCs per port exceeds the supported 64", cfg.VCs)
+	}
 	if cfg.NewArb == nil || cfg.Route == nil {
 		return nil, fmt.Errorf("wormhole: NewArb and Route are required")
 	}
@@ -229,27 +323,35 @@ func NewRouter(id int, cfg Config) (*Router, error) {
 			cfg.SharedBufFlits, cfg.VCs, cfg.BufFlits)
 	}
 	r := &Router{
-		cfg:       cfg,
-		id:        id,
-		in:        make([]*portBuf, cfg.Ports),
-		arbs:      make([][]sched.Scheduler, cfg.Ports),
-		locks:     make([][]lock, cfg.Ports),
-		out:       make([]Endpoint, cfg.Ports),
-		crd:       make([][]int, cfg.Ports),
-		credUp:    make([]creditReturn, cfg.Ports),
-		gateOut:   make([]func(vc int) bool, cfg.Ports),
-		eligible:  make([][]int, cfg.Ports),
-		linkRR:    make([]int, cfg.Ports),
-		usedInput: make([]bool, cfg.Ports),
-		outFault:  make([]OutputFault, cfg.Ports),
+		cfg:        cfg,
+		id:         id,
+		in:         make([]portBuf, cfg.Ports),
+		arbs:       make([]sched.Scheduler, cfg.Ports*cfg.VCs),
+		locks:      make([]lock, cfg.Ports*cfg.VCs),
+		out:        make([]Endpoint, cfg.Ports),
+		crd:        make([]int, cfg.Ports*cfg.VCs),
+		credUp:     make([]creditReturn, cfg.Ports),
+		outR:       make([]*Router, cfg.Ports),
+		outPort:    make([]int, cfg.Ports),
+		credUpR:    make([]*Router, cfg.Ports),
+		credUpPort: make([]int, cfg.Ports),
+		gateOut:    make([]func(vc int) bool, cfg.Ports),
+		eligible:   make([]int, cfg.Ports*cfg.VCs),
+		usedInput:  make([]bool, cfg.Ports),
+		outFault:   make([]OutputFault, cfg.Ports),
+
+		pendingOut: queue.NewBitset(cfg.Ports),
+		grantable:  queue.NewBitset(cfg.Ports * cfg.VCs),
+		outs:       make([]outHot, cfg.Ports),
+		inLockOut:  make([]int32, cfg.Ports*cfg.VCs),
 
 		gateSnapCycle: -1,
 	}
+	for i := range r.inLockOut {
+		r.inLockOut[i] = -1
+	}
 	for p := 0; p < cfg.Ports; p++ {
-		r.in[p] = newPortBuf(cfg.VCs, cfg.BufFlits, cfg.SharedBufFlits, cfg.SharedBufCap)
-		r.arbs[p] = make([]sched.Scheduler, cfg.VCs)
-		r.locks[p] = make([]lock, cfg.VCs)
-		r.eligible[p] = make([]int, cfg.VCs)
+		initPortBuf(&r.in[p], cfg.VCs, cfg.BufFlits, cfg.SharedBufFlits, cfg.SharedBufCap)
 		for v := 0; v < cfg.VCs; v++ {
 			arb := cfg.NewArb()
 			if _, ok := arb.(sched.LengthAware); ok {
@@ -259,9 +361,8 @@ func NewRouter(id int, cfg Config) (*Router, error) {
 			if !ok {
 				return nil, fmt.Errorf("wormhole: arbiter %q does not satisfy the head-of-line arbitration contract (sched.HeadOfLineArb)", arb.Name())
 			}
-			r.arbs[p][v] = hol
+			r.arbs[p*cfg.VCs+v] = hol
 		}
-		r.crd[p] = make([]int, cfg.VCs)
 	}
 	return r, nil
 }
@@ -274,15 +375,36 @@ func (r *Router) ID() int { return r.id }
 // stop/go gating for shared-buffer (DAMQ) inputs.
 func Connect(a *Router, po int, b *Router, pi int) {
 	a.out[po] = neighbour{r: b, port: pi}
+	a.outR[po] = b
+	a.outPort[po] = pi
 	if b.cfg.SharedBufFlits > 0 {
 		a.gateOut[po] = func(vc int) bool { return b.in[pi].canAccept(vc) }
+		a.outs[po].flags |= outHasGate
 		a.hasGates = true
 		return
 	}
-	for v := range a.crd[po] {
-		a.crd[po][v] = b.cfg.BufFlits
+	for v := 0; v < a.cfg.VCs; v++ {
+		a.crd[po*a.cfg.VCs+v] = b.cfg.BufFlits
 	}
-	b.credUp[pi] = func(vc int) { a.crd[po][vc]++ }
+	b.credUp[pi] = func(vc int) { a.creditArrived(po, vc) }
+	b.credUpR[pi] = a
+	b.credUpPort[pi] = po
+}
+
+// creditArrived restores one downstream credit on output o, VC v. A
+// lock waiting on that credit becomes forwardable, so the output
+// rejoins the pending work-list. Credits are returned during the
+// serial commit phase (Effects.Apply), never during Compute, so the
+// onActive hook may safely touch the mesh's active set.
+func (r *Router) creditArrived(o, v int) {
+	r.crd[o*r.cfg.VCs+v]++
+	if r.outs[o].lockVCs&(1<<uint(v)) != 0 {
+		r.pendingOut.Set(o)
+		if r.onActive != nil && !r.activeHint {
+			r.activeHint = true
+			r.onActive()
+		}
+	}
 }
 
 // ConnectEndpoint wires output port po of a to an arbitrary endpoint
@@ -290,12 +412,13 @@ func Connect(a *Router, po int, b *Router, pi int) {
 // BufFlits (0 = unlimited).
 func ConnectEndpoint(a *Router, po int, e Endpoint) {
 	a.out[po] = e
+	a.outR[po] = nil
 	buf := e.BufFlits()
-	for v := range a.crd[po] {
+	for v := 0; v < a.cfg.VCs; v++ {
 		if buf == 0 {
-			a.crd[po][v] = int(^uint(0) >> 1) // effectively unlimited
+			a.crd[po*a.cfg.VCs+v] = int(^uint(0) >> 1) // effectively unlimited
 		} else {
-			a.crd[po][v] = buf
+			a.crd[po*a.cfg.VCs+v] = buf
 		}
 	}
 }
@@ -315,19 +438,31 @@ func (n neighbour) AcceptFlit(f flit.Flit, vc int, cycle int64) {
 func (n neighbour) BufFlits() int { return n.r.cfg.BufFlits }
 
 // acceptFlit buffers an incoming flit and, if it exposes a new head
-// packet, announces it to the arbiter of its output. This is the only
-// place a quiescent router (work == 0) comes back to life, so the
-// 0->1 transition fires the onActive hook here.
+// packet, announces it to the arbiter of its output. Arrivals happen
+// outside Compute (injection, or the serial Effects.Apply commit), so
+// this is where a quiescent router re-enters the work-lists: a flit
+// landing in an empty locked VC re-enqueues the lock's output (the
+// worm was starved on input), and an unannounced head flit makes its
+// target cell grantable via announce. Either way the onActive hook
+// fires if the router is now Runnable.
 func (r *Router) acceptFlit(port int, f flit.Flit, vc int, cycle int64) {
-	pb := r.in[port]
+	pb := &r.in[port]
 	wasEmpty := pb.empty(vc)
-	pb.push(vc, entry{f: f, arrived: cycle})
+	pb.push(vc, f, cycle)
 	r.work++
-	if r.work == 1 && r.onActive != nil {
-		r.onActive()
-	}
 	if wasEmpty {
-		r.announce(port, vc)
+		if o := r.inLockOut[port*r.cfg.VCs+vc]; o >= 0 {
+			// The arriving flit continues the worm holding output o: a
+			// lock releases only after its tail passed, and FIFO order
+			// means no new head can arrive before that tail.
+			r.pendingOut.Set(int(o))
+		} else {
+			r.announceHead(port, vc, f)
+		}
+	}
+	if r.onActive != nil && !r.activeHint && r.Runnable() {
+		r.activeHint = true
+		r.onActive()
 	}
 }
 
@@ -345,7 +480,7 @@ func (r *Router) Inject(port, vc int, f flit.Flit, cycle int64) bool {
 // InputFree returns the flit slots an input VC could accept right
 // now (for shared buffers this includes the free shared region).
 func (r *Router) InputFree(port, vc int) int {
-	pb := r.in[port]
+	pb := &r.in[port]
 	if pb.dyn != nil {
 		return pb.dyn.SpaceFor(vc)
 	}
@@ -370,26 +505,52 @@ func (r *Router) headTarget(port, vc int, h flit.Flit) (o, ov int) {
 // arbiter of its routed output queue, if it is an unannounced head
 // flit.
 func (r *Router) announce(port, vc int) {
-	pb := r.in[port]
-	if pb.notif[vc] || pb.empty(vc) {
+	pb := &r.in[port]
+	if pb.fifos[vc].notif || pb.empty(vc) {
 		return
 	}
-	h := pb.peek(vc).f
+	r.announceHead(port, vc, pb.peek(vc).f)
+}
+
+// announceHead is announce when the caller already holds the head
+// flit of (port, vc) — acceptFlit passes the flit it just pushed into
+// an empty FIFO, skipping the peek the generic path pays.
+func (r *Router) announceHead(port, vc int, h flit.Flit) {
 	if h.Kind != flit.Head && h.Kind != flit.HeadTail {
 		// Mid-packet flit: the packet was announced when its head
 		// arrived (or is currently locked); nothing to do.
 		return
 	}
+	pb := &r.in[port]
+	if pb.fifos[vc].notif {
+		return
+	}
 	o, ov := r.headTarget(port, vc, h)
 	flow := port*r.cfg.VCs + vc
-	r.arbs[o][ov].OnArrival(flow, true)
-	r.eligible[o][ov]++
-	pb.notif[vc] = true
+	cell := o*r.cfg.VCs + ov
+	r.arbs[cell].OnArrival(flow, true)
+	r.eligible[cell]++
+	pb.fifos[vc].notif = true
+	if !r.locks[cell].active {
+		r.grantable.Set(cell)
+	}
 }
+
+// ClearActiveHint re-arms the onActive hook (see SetOnActive): the
+// owner calls it when it drops the router from its active set, so the
+// next activating event fires the hook again.
+func (r *Router) ClearActiveHint() { r.activeHint = false }
 
 // SetOutputFault installs (or, with nil, removes) a fault injector on
 // output link port.
-func (r *Router) SetOutputFault(port int, f OutputFault) { r.outFault[port] = f }
+func (r *Router) SetOutputFault(port int, f OutputFault) {
+	r.outFault[port] = f
+	if f != nil {
+		r.outs[port].flags |= outHasFault
+	} else {
+		r.outs[port].flags &^= outHasFault
+	}
+}
 
 // SetFreeze installs a freeze predicate: while it returns true the
 // router does nothing — no forwarding, no grants — while its input
@@ -398,17 +559,43 @@ func (r *Router) SetOutputFault(port int, f OutputFault) { r.outFault[port] = f 
 // removes the predicate.
 func (r *Router) SetFreeze(f func(cycle int64) bool) { r.frozen = f }
 
-// SetOnActive installs a hook fired when the router transitions from
-// quiescent (Busy() == false) to busy, i.e. when a flit arrives at an
-// empty, unallocated router. The mesh uses it to maintain its active
-// set. nil removes the hook.
+// SetOnActive installs a hook fired when an external event (flit
+// arrival, credit return) leaves a router Runnable. The mesh uses it
+// to maintain its active set. nil removes the hook.
 func (r *Router) SetOnActive(fn func()) { r.onActive = fn }
 
-// Busy reports whether stepping the router at this point would do any
-// work: it holds buffered flits or active output allocations. A
-// router with Busy() == false steps as a strict no-op, so a caller
-// may skip it without changing any observable state.
+// Busy reports whether the router holds any state at all: buffered
+// flits or active output allocations.
 func (r *Router) Busy() bool { return r.work > 0 }
+
+// Runnable reports whether stepping the router could change any
+// state: some output may be able to forward a flit, or some idle
+// output queue has an eligible flow to grant. A router with
+// Runnable() == false steps as a strict no-op — even when it still
+// holds hard-blocked worms (Busy() == true), every one of them waits
+// on an external event (a flit arrival or a credit return) that
+// re-enters it on the work-lists and fires the onActive hook — so a
+// caller may skip it without changing any observable state.
+func (r *Router) Runnable() bool { return r.pendingOut.Any() || r.grantable.Any() }
+
+// SetFullScan, when on, makes Compute use the original full
+// ports-x-VCs scans instead of the work-lists, while maintaining the
+// identical work-list state. It is the oracle mode the differential
+// tests compare against: both modes must produce byte-identical
+// artifacts and identical Runnable() trajectories.
+func (r *Router) SetFullScan(on bool) { r.fullScan = on }
+
+// TakeCellsVisited returns and resets the count of arbitration sites
+// Compute inspected since the last call (obs telemetry).
+func (r *Router) TakeCellsVisited() int64 {
+	n := r.cellsVisited
+	r.cellsVisited = 0
+	return n
+}
+
+// WorklistLen returns the current pending work-list population:
+// outputs with possibly-forwardable packets plus grantable cells.
+func (r *Router) WorklistLen() int { return r.pendingOut.Count() + r.grantable.Count() }
 
 // Effects buffers the cross-router side effects of one Compute call:
 // flit deliveries to downstream endpoints and credit returns to
@@ -423,15 +610,25 @@ type Effects struct {
 	credits    []creditFx
 }
 
+// delivery records one flit to hand downstream. For router-to-router
+// links r/port name the receiver directly; ep is the generic fallback
+// for sinks and custom endpoints.
 type delivery struct {
+	r     *Router
 	ep    Endpoint
 	f     flit.Flit
+	port  int
 	vc    int
 	cycle int64
 }
 
+// creditFx records one credit to return upstream; r/o name the
+// upstream router directly, ret is the closure fallback (StallSink and
+// other non-router binders).
 type creditFx struct {
+	r   *Router
 	ret creditReturn
+	o   int
 	vc  int
 }
 
@@ -448,11 +645,21 @@ func (fx *Effects) Reset() {
 // to the interleaved order the serial router used, for any wiring
 // without self-loops.
 func (fx *Effects) Apply() {
-	for _, d := range fx.deliveries {
-		d.ep.AcceptFlit(d.f, d.vc, d.cycle)
+	for i := range fx.deliveries {
+		d := &fx.deliveries[i]
+		if d.r != nil {
+			d.r.acceptFlit(d.port, d.f, d.vc, d.cycle)
+		} else {
+			d.ep.AcceptFlit(d.f, d.vc, d.cycle)
+		}
 	}
-	for _, c := range fx.credits {
-		c.ret(c.vc)
+	for i := range fx.credits {
+		c := &fx.credits[i]
+		if c.r != nil {
+			c.r.creditArrived(c.o, c.vc)
+		} else {
+			c.ret(c.vc)
+		}
 	}
 }
 
@@ -520,69 +727,169 @@ func (r *Router) Step(cycle int64) {
 // the caller commits the effects afterwards with fx.Apply, ordering
 // commits however its determinism contract requires.
 func (r *Router) Compute(cycle int64, fx *Effects) {
+	r.lastCycle = cycle
 	if r.frozen != nil && r.frozen(cycle) {
-		// Occupancy still accrues on allocated outputs: a frozen
-		// router's victims are billed wall-clock time, like any other
-		// downstream congestion.
-		for o := range r.locks {
-			for v := range r.locks[o] {
-				if r.locks[o][v].active {
-					r.locks[o][v].occupancy++
-				}
-			}
-		}
+		// A frozen router does nothing, but its work-lists are left
+		// intact — the cells stay enqueued and are processed on the
+		// first unfrozen cycle, and occupancy on allocated outputs
+		// accrues implicitly (it is billed as cycle-since at tail
+		// time): a frozen router's victims pay wall-clock time, like
+		// any other downstream congestion.
 		return
 	}
-	usedInput := r.usedInput
-	for i := range usedInput {
-		usedInput[i] = false
+	if r.fullScan {
+		r.computeScan(cycle, fx)
+		return
+	}
+	// Phase 1: per pending output link, forward one flit from the
+	// first movable allocated VC in round-robin order. Iterating the
+	// set bits ascending visits the same outputs in the same order as
+	// the original full scan — outputs with a clear bit are exactly
+	// those the scan would have left untouched.
+	pw := r.pendingOut.Words()
+	for wi, w := range pw {
+		for w != 0 {
+			o := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r.tryForward(o, cycle, fx) {
+				pw[wi] &^= 1 << uint(o&63)
+			}
+		}
+	}
+	// Phase 2: grant idle output queues to eligible flows (transfer
+	// begins next cycle). Cell index o*VCs+v iterated ascending is the
+	// scan's o-major, v-minor order.
+	V := r.cfg.VCs
+	gw := r.grantable.Words()
+	for wi, w := range gw {
+		for w != 0 {
+			cell := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			r.cellsVisited++
+			r.grantCell(cell/V, cell%V, cycle)
+		}
+	}
+	for _, p := range r.usedList {
+		r.usedInput[p] = false
+	}
+	r.usedList = r.usedList[:0]
+}
+
+// computeScan is Compute's full-scan oracle: the original three-phase
+// ports-x-VCs walk, sharing tryForward/grantCell with the work-list
+// path so the two modes differ only in which cells they *visit*, not
+// in what they do at a cell. It maintains the same work-list bits; in
+// a correct implementation a cleared bit's tryForward re-quiesces
+// (hard blocks persist until an instrumented event), so the masks —
+// and hence Runnable() and the mesh's active set — evolve
+// identically, and any divergence is a missing-event bug the
+// differential tests surface as an artifact mismatch.
+func (r *Router) computeScan(cycle int64, fx *Effects) {
+	for o := 0; o < r.cfg.Ports; o++ {
+		if r.tryForward(o, cycle, fx) {
+			r.pendingOut.Clear(o)
+		} else {
+			r.pendingOut.Set(o)
+		}
 	}
 	V := r.cfg.VCs
-	// Phase 1: per output link, advance occupancy of every allocated
-	// packet (occupancy is wall-clock time to dequeue, the paper's
-	// replacement for packet length in wormhole networks) and forward
-	// one flit from the first movable VC in round-robin order.
-	for o := range r.locks {
-		for v := range r.locks[o] {
-			if r.locks[o][v].active {
-				r.locks[o][v].occupancy++
-			}
-		}
-		if f := r.outFault[o]; f != nil && f.Stalled(cycle) {
-			continue // link down: nothing traverses this output
-		}
-		for k := 0; k < V; k++ {
-			v := (r.linkRR[o] + k) % V
-			l := &r.locks[o][v]
-			if !l.active {
+	for o := 0; o < r.cfg.Ports; o++ {
+		for v := 0; v < V; v++ {
+			r.cellsVisited++
+			if r.locks[o*V+v].active || r.eligible[o*V+v] == 0 {
 				continue
 			}
-			pb := r.in[l.port]
-			if usedInput[l.port] || pb.empty(l.vc) || pb.peek(l.vc).arrived >= cycle {
+			r.grantCell(o, v, cycle)
+		}
+	}
+	for _, p := range r.usedList {
+		r.usedInput[p] = false
+	}
+	r.usedList = r.usedList[:0]
+}
+
+// tryForward advances output o by at most one flit (the original
+// phase-1 body for one output) and reports whether the output has
+// quiesced: no allocated VC can forward until an instrumented event
+// re-enqueues it. Only the two hard blocks — input FIFO empty and
+// downstream credits exhausted on an ungated, unfaulted link — count
+// toward quiescence; everything transient (link contention, a flit
+// that arrived this cycle, stop/go gates, installed faults, or an
+// actual forward) keeps the output pending.
+func (r *Router) tryForward(o int, cycle int64, fx *Effects) (quiesce bool) {
+	r.cellsVisited++
+	oh := &r.outs[o]
+	if oh.lockCount == 0 {
+		return true // re-enqueued by grantCell
+	}
+	var fault OutputFault
+	gated := false
+	if oh.flags != 0 {
+		fault = r.outFault[o]
+		if fault != nil && fault.Stalled(cycle) {
+			return false // link down: nothing traverses this output
+		}
+		gated = r.gateOut[o] != nil
+	}
+	// Quiesce only if every allocated VC turns out hard-blocked; an
+	// installed fault or gate may change answers without an event, so
+	// their outputs poll.
+	quiesce = fault == nil && !gated
+	V := r.cfg.VCs
+	locks := r.locks[o*V : o*V+V]
+	crd := r.crd[o*V : o*V+V]
+	// Walk the allocated VCs in round-robin order starting at
+	// linkRR[o]: first the set bits at or above the pointer, then the
+	// wrapped-around ones below it — the same VCs, in the same order,
+	// the original (linkRR+k) mod V walk visited, skipping the
+	// unallocated cells it stepped over one by one.
+	rr := int(oh.linkRR)
+	all := oh.lockVCs
+	hi := all &^ (1<<uint(rr) - 1)
+	for pass := 0; pass < 2; pass++ {
+		part := hi
+		if pass == 1 {
+			part = all ^ hi
+		}
+		for part != 0 {
+			v := bits.TrailingZeros64(part)
+			part &= part - 1
+			l := &locks[v]
+			r.cellsVisited++
+			pb := &r.in[l.port]
+			if pb.occVC&(1<<uint(l.vc)) == 0 {
+				continue // hard: acceptFlit re-enqueues via inLockOut
+			}
+			if r.usedInput[l.port] {
+				quiesce = false // transient: retry next cycle
+				continue
+			}
+			if pb.peekArrived(l.vc) >= cycle {
+				quiesce = false // transient: forwardable next cycle
 				continue
 			}
 			// Downstream space: stop/go gate on shared-buffer links,
 			// per-VC credits otherwise.
-			if r.gateOut[o] != nil {
+			if gated {
 				if !r.gateAllows(o, v, cycle) {
 					continue
 				}
-			} else if r.crd[o][v] <= 0 {
-				continue
+			} else if crd[v] <= 0 {
+				continue // hard: creditArrived re-enqueues
 			}
-			e := pb.pop(l.vc)
+			f := pb.popFlit(l.vc)
 			r.work--
-			usedInput[l.port] = true
-			if r.gateOut[o] == nil {
-				r.crd[o][v]--
+			r.usedInput[l.port] = true
+			r.usedList = append(r.usedList, l.port)
+			if !gated {
+				crd[v]--
 			}
-			if ret := r.credUp[l.port]; ret != nil {
+			if ur := r.credUpR[l.port]; ur != nil {
+				fx.credits = append(fx.credits, creditFx{r: ur, o: r.credUpPort[l.port], vc: l.vc})
+			} else if ret := r.credUp[l.port]; ret != nil {
 				fx.credits = append(fx.credits, creditFx{ret: ret, vc: l.vc})
 			}
-			if r.out[o] == nil {
-				panic(fmt.Sprintf("wormhole: router %d output %d unconnected", r.id, o))
-			}
-			if f := r.outFault[o]; f != nil && f.Drop(e.f, cycle) {
+			if fault != nil && fault.Drop(f, cycle) {
 				// Lost in transit: the link cycle and the downstream
 				// credit are spent, but the flit never arrives. The
 				// sending router's own bookkeeping is unaffected — a
@@ -590,48 +897,79 @@ func (r *Router) Compute(cycle int64, fx *Effects) {
 				// is the watchdog's job to catch.
 				r.FaultDropped++
 			} else {
-				out := e.f
-				if f := r.outFault[o]; f != nil {
-					out = f.Corrupt(out, cycle)
+				out := f
+				if fault != nil {
+					out = fault.Corrupt(out, cycle)
 				}
-				fx.deliveries = append(fx.deliveries, delivery{ep: r.out[o], f: out, vc: v, cycle: cycle})
+				// Fill the slot in place: a composite-literal append
+				// copies the ~100-byte delivery twice.
+				n := len(fx.deliveries)
+				if n < cap(fx.deliveries) {
+					fx.deliveries = fx.deliveries[:n+1]
+				} else {
+					fx.deliveries = append(fx.deliveries, delivery{})
+				}
+				d := &fx.deliveries[n]
+				d.r, d.ep, d.f, d.port, d.vc, d.cycle = r.outR[o], nil, out, r.outPort[o], v, cycle
+				if d.r == nil {
+					d.ep = r.out[o]
+				}
 			}
-			if e.f.Kind == flit.Tail || e.f.Kind == flit.HeadTail {
-				r.completePacket(o, v)
+			if f.Kind == flit.Tail || f.Kind == flit.HeadTail {
+				r.completePacket(o, v, cycle)
 			}
-			r.linkRR[o] = (v + 1) % V
-			break // one flit per output link per cycle
+			oh.linkRR = int32((v + 1) % V)
+			// One flit per output link per cycle: the output stays
+			// pending for the next cycle's attempt — unless that tail
+			// released its last lock, in which case the output is idle
+			// until grantCell re-enqueues it.
+			return oh.lockCount == 0
 		}
 	}
-	// Phase 2: grant idle output queues to eligible flows (transfer
-	// begins next cycle).
-	for o := range r.locks {
-		for v := range r.locks[o] {
-			if r.locks[o][v].active || r.eligible[o][v] == 0 {
-				continue
-			}
-			flow := r.arbs[o][v].NextFlow()
-			r.eligible[o][v]--
-			port, vc := flow/V, flow%V
-			if r.in[port].empty(vc) {
-				panic("wormhole: arbiter granted a flow with no buffered head flit")
-			}
-			r.locks[o][v] = lock{active: true, port: port, vc: vc, outVC: v, flow: flow}
-			r.work++
-		}
+	return quiesce
+}
+
+// grantCell allocates idle output queue (o, v) to the arbiter's next
+// eligible flow (the original phase-2 body for one cell). The new
+// lock's first forward attempt is next cycle, so the output joins the
+// pending work-list.
+func (r *Router) grantCell(o, v int, cycle int64) {
+	if r.out[o] == nil {
+		panic(fmt.Sprintf("wormhole: router %d output %d unconnected", r.id, o))
 	}
+	V := r.cfg.VCs
+	cell := o*V + v
+	flow := r.arbs[cell].NextFlow()
+	r.eligible[cell]--
+	port, vc := flow/V, flow%V
+	if r.in[port].empty(vc) {
+		panic("wormhole: arbiter granted a flow with no buffered head flit")
+	}
+	r.locks[cell] = lock{active: true, port: port, vc: vc, outVC: v, flow: flow, since: cycle}
+	r.outs[o].lockCount++
+	r.outs[o].lockVCs |= 1 << uint(v)
+	r.inLockOut[port*V+vc] = int32(o)
+	r.work++
+	r.grantable.Clear(cell)
+	r.pendingOut.Set(o)
 }
 
 // completePacket releases output queue (o, v) after its packet's tail
-// flit passed, bills the arbiter with the occupancy, and announces
-// any next packet now at the head of the same input VC FIFO.
-func (r *Router) completePacket(o, v int) {
-	l := &r.locks[o][v]
-	port, vc, flow, occ := l.port, l.vc, l.flow, l.occupancy
-	r.locks[o][v] = lock{}
+// flit passed, bills the arbiter with the occupancy (cycle-since: one
+// per cycle the queue was held, exactly what the eager per-cycle
+// counter accrued), and announces any next packet now at the head of
+// the same input VC FIFO.
+func (r *Router) completePacket(o, v int, cycle int64) {
+	cell := o*r.cfg.VCs + v
+	l := &r.locks[cell]
+	port, vc, flow, occ := l.port, l.vc, l.flow, cycle-l.since
+	r.locks[cell] = lock{}
+	r.outs[o].lockCount--
+	r.outs[o].lockVCs &^= 1 << uint(v)
+	r.inLockOut[port*r.cfg.VCs+vc] = -1
 	r.work--
-	pb := r.in[port]
-	pb.notif[vc] = false
+	pb := &r.in[port]
+	pb.fifos[vc].notif = false
 	// Is the next head packet (if already buffered) routed to the same
 	// output queue? Then the flow stays active from the arbiter's
 	// viewpoint.
@@ -641,23 +979,28 @@ func (r *Router) completePacket(o, v int) {
 		if h.Kind == flit.Head || h.Kind == flit.HeadTail {
 			if o2, ov2 := r.headTarget(port, vc, h); o2 == o && ov2 == v {
 				nowEmpty = false
-				pb.notif[vc] = true
+				pb.fifos[vc].notif = true
 			}
 		}
 	}
-	r.arbs[o][v].OnPacketDone(flow, occ, nowEmpty)
+	r.arbs[cell].OnPacketDone(flow, occ, nowEmpty)
 	if !nowEmpty {
-		r.eligible[o][v]++
+		r.eligible[cell]++
 	} else {
 		// The next packet (if any, and once its head flit is here) may
 		// target a different output queue.
 		r.announce(port, vc)
 	}
+	// The queue just went idle; if any flow is (still, or newly via
+	// announce) eligible for it, the cell is grantable this cycle.
+	if r.eligible[cell] > 0 {
+		r.grantable.Set(cell)
+	}
 }
 
 // Arb returns the arbiter of output queue (o, v) (for tests and
 // metrics).
-func (r *Router) Arb(o, v int) sched.Scheduler { return r.arbs[o][v] }
+func (r *Router) Arb(o, v int) sched.Scheduler { return r.arbs[o*r.cfg.VCs+v] }
 
 // Sink is an ejection endpoint: it accepts every flit and reports
 // packet departures (tail flits). Its buffer is unlimited, modelling
@@ -725,7 +1068,7 @@ func (s *StallSink) BufFlits() int { return s.Capacity }
 // Bind attaches the sink to the router output feeding it so drained
 // flits return credits. Call after ConnectEndpoint.
 func (s *StallSink) Bind(r *Router, po int) {
-	s.credUp = func(vc int) { r.crd[po][vc]++ }
+	s.credUp = func(vc int) { r.creditArrived(po, vc) }
 }
 
 // Step drains at most one flit if the drain pattern allows.
@@ -760,19 +1103,24 @@ type WaitEdge struct {
 
 // WaitEdges returns the channel-wait graph edges of every currently
 // blocked output-queue allocation, evaluated against the state at the
-// given cycle.
+// given cycle. Only outputs holding allocations are visited
+// (lockCount), so dumping a big, mostly-idle mesh costs its traffic,
+// not its radix.
 func (r *Router) WaitEdges(cycle int64) []WaitEdge {
 	var edges []WaitEdge
 	frozen := r.frozen != nil && r.frozen(cycle)
-	for o := range r.locks {
+	for o := 0; o < r.cfg.Ports; o++ {
+		if r.outs[o].lockCount == 0 {
+			continue
+		}
 		stalled := r.outFault[o] != nil && r.outFault[o].Stalled(cycle)
-		for v := range r.locks[o] {
-			l := r.locks[o][v]
+		for v := 0; v < r.cfg.VCs; v++ {
+			l := r.locks[o*r.cfg.VCs+v]
 			if !l.active {
 				continue
 			}
 			reason := "contended"
-			pb := r.in[l.port]
+			pb := &r.in[l.port]
 			switch {
 			case frozen:
 				reason = "frozen"
@@ -782,13 +1130,13 @@ func (r *Router) WaitEdges(cycle int64) []WaitEdge {
 				reason = "input-empty"
 			case r.gateOut[o] != nil && !r.gateOut[o](v):
 				reason = "no-space"
-			case r.gateOut[o] == nil && r.crd[o][v] <= 0:
+			case r.gateOut[o] == nil && r.crd[o*r.cfg.VCs+v] <= 0:
 				reason = "no-credit"
 			}
 			edges = append(edges, WaitEdge{
 				Router: r.id, OutPort: o, OutVC: v,
 				InPort: l.port, InVC: l.vc, Flow: l.flow,
-				Occupancy: l.occupancy, Reason: reason,
+				Occupancy: cycle - l.since, Reason: reason,
 			})
 		}
 	}
@@ -803,26 +1151,43 @@ func (e WaitEdge) String() string {
 
 // DumpState prints the router's output-queue allocations, FIFO
 // occupancies and credit counters — a debugging aid for deadlock
-// analysis.
+// analysis. Outputs are visited only when they hold allocations or
+// grantable cells, inputs only when non-empty, so the dump of a big
+// quiescent mesh stays proportional to its live state.
 func (r *Router) DumpState() {
-	for o := range r.locks {
-		for v := range r.locks[o] {
-			l := r.locks[o][v]
+	V := r.cfg.VCs
+	for o := 0; o < r.cfg.Ports; o++ {
+		if r.outs[o].lockCount == 0 && !anyGrantable(&r.grantable, o, V) {
+			continue
+		}
+		for v := 0; v < V; v++ {
+			cell := o*V + v
+			l := r.locks[cell]
 			if l.active {
 				fmt.Printf("router %d out (%d,%d): LOCKED in=(%d,%d) occ=%d fifo=%d crd=%d elig=%d\n",
-					r.id, o, v, l.port, l.vc, l.occupancy, r.in[l.port].len(l.vc), r.crd[o][v], r.eligible[o][v])
-			} else if r.eligible[o][v] > 0 {
-				fmt.Printf("router %d out (%d,%d): idle but eligible=%d crd=%d\n", r.id, o, v, r.eligible[o][v], r.crd[o][v])
+					r.id, o, v, l.port, l.vc, r.lastCycle-l.since, r.in[l.port].len(l.vc), r.crd[cell], r.eligible[cell])
+			} else if r.eligible[cell] > 0 {
+				fmt.Printf("router %d out (%d,%d): idle but eligible=%d crd=%d\n", r.id, o, v, r.eligible[cell], r.crd[cell])
 			}
 		}
 	}
 	for p := range r.in {
-		for v := 0; v < r.cfg.VCs; v++ {
+		for v := 0; v < V; v++ {
 			if !r.in[p].empty(v) {
 				h := r.in[p].peek(v).f
 				fmt.Printf("router %d in (%d,%d): %d flits, head %v dst=%d notified=%v\n",
-					r.id, p, v, r.in[p].len(v), h.Kind, h.Dst, r.in[p].notif[v])
+					r.id, p, v, r.in[p].len(v), h.Kind, h.Dst, r.in[p].fifos[v].notif)
 			}
 		}
 	}
+}
+
+// anyGrantable reports whether output o has any grantable cell.
+func anyGrantable(b *queue.Bitset, o, vcs int) bool {
+	for v := 0; v < vcs; v++ {
+		if b.Test(o*vcs + v) {
+			return true
+		}
+	}
+	return false
 }

@@ -221,8 +221,8 @@ func TestTwoRoutersMultiHop(t *testing.T) {
 	}
 	// Credit conservation: r0's credits toward r1 must be restored.
 	for v := 0; v < 2; v++ {
-		if r0.crd[1][v] != r1.cfg.BufFlits {
-			t.Errorf("vc %d credits %d, want %d", v, r0.crd[1][v], r1.cfg.BufFlits)
+		if r0.crd[1*r0.cfg.VCs+v] != r1.cfg.BufFlits {
+			t.Errorf("vc %d credits %d, want %d", v, r0.crd[1*r0.cfg.VCs+v], r1.cfg.BufFlits)
 		}
 	}
 }
