@@ -517,3 +517,103 @@ func BenchmarkNoCStepping(b *testing.B) {
 		}
 	}
 }
+
+// --- NoC event-core benchmarks (BENCH_noc.json "event core") ---
+
+// benchMeshEventCore measures one epoch of a bursty or fault-windowed
+// workload through Run/Drain — the regime the discrete-event core
+// exists for. Steady Bernoulli loads (BenchmarkNoCStepping) never
+// globally idle, so event-to-event advancement neither helps nor
+// hurts there; here each 50k-cycle epoch is mostly gap (idle after a
+// burst drains, or dormant behind a known fault window), and the
+// event core jumps it while the stepped oracle crawls. The mesh
+// persists across iterations, so allocs/op is the zero-allocation
+// steady-state gate for Run/Drain themselves (BENCH_hotpath.json).
+func benchMeshEventCore(b *testing.B, scenario string, stepped bool) {
+	const k, epoch = 16, 400_000
+	m, err := noc.NewMesh(noc.Config{
+		K: k, VCs: 2, BufFlits: 8,
+		NewArb: func() sched.Scheduler { return core.New() },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.RegisterObs(obs.NewRegistry())
+	m.SetStepped(stepped)
+	// The freeze-gap scenario wedges traffic behind a frozen center
+	// router for most of each epoch. The window predicate is installed
+	// once (its bounds move per epoch); the edges are declared known
+	// and re-registered each epoch via ScheduleWake, so the frozen
+	// router is dormant between edges instead of polled.
+	var winStart, winEnd int64
+	center := m.NodeID(k/2, k/2)
+	if scenario == "freeze-gap" {
+		m.Router(center).SetFreeze(func(c int64) bool { return c >= winStart && c < winEnd })
+		m.Router(center).SetFaultEdgesKnown(true)
+	}
+	src := rng.New(5)
+	lens := rng.NewUniform(1, 8)
+	// Saturation warm: drive every router to backlog once so lazily
+	// created per-flow scheduler state and queue capacities exist
+	// before measurement (first-touch allocations otherwise trickle in
+	// for thousands of epochs under random burst traffic).
+	winj := noc.NewInjector(m, 0.30, noc.Uniform{Nodes: m.Nodes()}, lens, rng.New(9))
+	winj.MaxPending = 4
+	for c := 0; c < 3000; c++ {
+		winj.Step()
+		m.Step()
+	}
+	if !m.Drain(epoch) {
+		b.Fatal("saturation warm did not drain")
+	}
+	runEpoch := func() {
+		start := m.Cycle()
+		if scenario == "freeze-gap" {
+			// Thaw 10k cycles before epoch end: the wedged traffic
+			// drains inside the epoch, the remainder idles.
+			winStart, winEnd = start+100, start+epoch-10_000
+			m.ScheduleWake(winStart)
+			m.ScheduleWake(winEnd)
+		}
+		// One packet per node inside a 20-cycle burst (~9% flit
+		// injection while it lasts), then nothing for the rest of the
+		// epoch.
+		for n := 0; n < m.Nodes(); n++ {
+			d := src.Intn(m.Nodes())
+			if d == n {
+				d = (d + 1) % m.Nodes()
+			}
+			m.SendAt(start+int64(src.Intn(20)), n, d, lens.Draw(src))
+		}
+		m.Run(epoch)
+	}
+	for i := 0; i < 3; i++ {
+		runEpoch()
+	}
+	if m.InFlight() != 0 {
+		b.Fatalf("%s epoch does not drain: %d in flight", scenario, m.InFlight())
+	}
+	if !stepped && m.Skipped() == 0 {
+		b.Fatalf("%s epoch never engaged the event core", scenario)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runEpoch()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(epoch)*1e9/float64(b.Elapsed().Nanoseconds()/int64(b.N)), "cycles/sec")
+}
+
+func BenchmarkNoCEventCore(b *testing.B) {
+	for _, scenario := range []string{"bursty", "freeze-gap"} {
+		for _, md := range []struct {
+			name    string
+			stepped bool
+		}{{"event", false}, {"stepped", true}} {
+			b.Run("16x16-"+scenario+"/"+md.name, func(b *testing.B) {
+				benchMeshEventCore(b, scenario, md.stepped)
+			})
+		}
+	}
+}

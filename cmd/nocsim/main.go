@@ -41,6 +41,7 @@ func main() {
 		fseed   = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
 		par     = flag.Int("parallel-mesh", 1, "shard mesh stepping across this many workers (1 = serial, 0 = GOMAXPROCS); output is identical at any setting")
 		fscan   = flag.Bool("fullscan", false, "arbitrate with full ports-x-VCs scans instead of the event-driven work-lists (oracle mode; output is identical either way)")
+		stepF   = flag.Bool("stepped", false, "step every cycle literally instead of advancing event-to-event (oracle mode; deliveries and latency are identical, but telemetry counting performed work — routers active, sites visited, cycles skipped — reflects the costlier run)")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -51,13 +52,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "nocsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par, *fscan); err != nil {
+	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par, *fscan, *stepF); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int, fullScan bool) error {
+func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -85,6 +86,7 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 	}
 	m.RegisterObs(obs.Default())
 	m.SetFullScan(fullScan)
+	m.SetStepped(stepped)
 	if parallel != 1 {
 		pool := exec.NewPool(parallel)
 		defer pool.Close()
@@ -119,16 +121,28 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		wd = check.NewWatchdog(limit)
 		m.WatchProgress(wd)
 	}
-	// wedged reports a mesh holding flits that has delivered nothing
-	// for the watchdog budget, dumping the channel-wait graph (who is
-	// blocked on which VC, and why) before aborting cleanly.
+	// wedgeReport renders the abort diagnostic for a mesh holding flits
+	// that has delivered nothing for the watchdog budget: the
+	// channel-wait graph (who is blocked on which VC, and why) at the
+	// trip cycle.
+	wedgeReport := func(c int64) error {
+		return fmt.Errorf("wedged at cycle %d: %d flits in flight, no delivery for %d cycles (%d flits dropped by fault injection)\nchannel-wait graph:\n%s",
+			c, m.InFlight(), wd.Limit, finj.Counters().Dropped,
+			noc.FormatWaitGraph(m.WaitGraph(c), 32))
+	}
+	// The warm loop steps manually (the injector is cycle-driven), so
+	// it polls the watchdog itself; the drain runs through Mesh.Drain,
+	// which consults the watchdog every stepped cycle and at the trip
+	// point of any skipped gap, reporting through the OnWedged hook.
 	wedged := func() error {
 		if wd == nil || !wd.Expired(m.Cycle(), int64(m.InFlight())) {
 			return nil
 		}
-		return fmt.Errorf("wedged at cycle %d: %d flits in flight, no delivery for %d cycles (%d flits dropped by fault injection)\nchannel-wait graph:\n%s",
-			m.Cycle(), m.InFlight(), wd.Limit, finj.Counters().Dropped,
-			noc.FormatWaitGraph(m.WaitGraph(m.Cycle()), 32))
+		return wedgeReport(m.Cycle())
+	}
+	var wedgeErr error
+	if wd != nil {
+		m.SetOnWedged(func(c int64) { wedgeErr = wedgeReport(c) })
 	}
 
 	var pat noc.Pattern
@@ -153,20 +167,9 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 			return err
 		}
 	}
-	drained := true
-	if wd == nil {
-		drained = m.Drain(10 * cycles)
-	} else {
-		for c := int64(0); c < 10*cycles; c++ {
-			if m.InFlight() == 0 {
-				break
-			}
-			m.Step()
-			if err := wedged(); err != nil {
-				return err
-			}
-		}
-		drained = m.InFlight() == 0
+	drained := m.Drain(10 * cycles)
+	if wedgeErr != nil {
+		return wedgeErr
 	}
 
 	var injected, delivered int64

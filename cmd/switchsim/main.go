@@ -40,6 +40,7 @@ func main() {
 		fseed  = flag.Uint64("faultseed", 0, "fault-randomness seed, independent of -seed (0 = derive from -seed)")
 		fscan  = flag.Bool("fullscan", false, "arbitrate with full ports-x-VCs scans instead of the event-driven work-lists (oracle mode; output must be identical)")
 		par    = flag.Int("parallel-mesh", 1, "step the switch through the explicit two-phase compute/commit path (any value != 1); a single switch has nothing to shard, but output must be identical")
+		stepF  = flag.Bool("stepped", false, "step every cycle literally instead of jumping dormant fault windows event-to-event (oracle mode; throughput and fault counters are identical, but arbitration-sites-visited reflects the costlier run)")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -50,13 +51,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "switchsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF, *par, *fscan); err != nil {
+	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF, *par, *fscan, *stepF); err != nil {
 		fmt.Fprintf(os.Stderr, "switchsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool, parallel int, fullScan bool) error {
+func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -94,6 +95,12 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 			r.SetOutputFault(port, f)
 		}
 	}
+	// All fault hooks above derive from the parsed spec, so every cycle
+	// at which a fault answer can change is a spec window edge: declare
+	// the edges known so the router may report dormancy (NextEventAt)
+	// and the run can jump dormant windows event-to-event.
+	r.SetFaultEdgesKnown(true)
+	edges := finj.WindowEdges()
 	// Flit-level malformed directives (notail, duphead, ...) replace a
 	// whole injected packet's flit stream; they exercise the switch's
 	// tolerance and, with -check, the stream validator's detection.
@@ -165,7 +172,59 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 	}
 
 	pending := make([][]flit.Flit, inputs)
+	// wedge renders the deadlock abort: the channel-wait graph at the
+	// watchdog's trip cycle.
+	wedge := func(c int64) error {
+		dump := ""
+		for _, e := range r.WaitEdges(c) {
+			dump += "  " + e.String() + "\n"
+		}
+		return fmt.Errorf("wedged at cycle %d (no delivery for %d cycles)\nchannel-wait graph:\n%s",
+			c, wd.Limit, dump)
+	}
+	// canSkip reports whether cycle c is a provable no-op that draws no
+	// randomness: the router is dormant (frozen, or every pending
+	// output stalled, with window edges known), every backlogged input
+	// is refused (a nil pending slot would draw a fresh packet), and
+	// the sink holds nothing to drain. Such cycles repeat verbatim
+	// until the next fault-window edge, so the run may jump straight to
+	// it — consulting the watchdog at its exact trip cycle inside the
+	// gap, as a stepped run would.
+	canSkip := func(c int64) bool {
+		if stepped || r.NextEventAt(c) != wormhole.EventNever || sink.Buffered() != 0 {
+			return false
+		}
+		for in := 0; in < inputs; in++ {
+			if pending[in] == nil || r.CanAccept(in+1, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	nextEdge := func(c int64) int64 {
+		for _, e := range edges {
+			if e > c {
+				if e < cycles {
+					return e
+				}
+				break
+			}
+		}
+		return cycles
+	}
 	for c := int64(0); c < cycles; c++ {
+		if canSkip(c) {
+			t := nextEdge(c)
+			if wd != nil && !wd.Tripped() {
+				// A stepped run checks the watchdog at every cycle of
+				// [c, t); trip at the same cycle it would.
+				if at := wd.ExpiresAt(); at < t && wd.Expired(at, 1) {
+					return wedge(at)
+				}
+			}
+			c = t - 1 // the loop increment lands on the edge itself
+			continue
+		}
 		for in := 0; in < inputs; in++ {
 			port := in + 1
 			if pending[in] == nil {
@@ -197,12 +256,7 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 		// Inputs are permanently backlogged, so a silent output for the
 		// whole watchdog budget means the switch is wedged.
 		if wd != nil && wd.Expired(c, 1) {
-			dump := ""
-			for _, e := range r.WaitEdges(c) {
-				dump += "  " + e.String() + "\n"
-			}
-			return fmt.Errorf("wedged at cycle %d (no delivery for %d cycles)\nchannel-wait graph:\n%s",
-				c, wd.Limit, dump)
+			return wedge(c)
 		}
 	}
 

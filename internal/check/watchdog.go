@@ -59,3 +59,12 @@ func (w *Watchdog) Expired(cycle, backlog int64) bool {
 
 // Tripped reports whether the watchdog has ever expired.
 func (w *Watchdog) Tripped() bool { return w.tripped }
+
+// ExpiresAt returns the cycle at which the watchdog would trip absent
+// further progress: last recorded progress plus the budget. Callers
+// that jump time event-to-event instead of stepping cycle-by-cycle
+// (noc.Mesh time skipping) use it to consult Expired at the exact
+// trip cycle before skipping past it, so a wedged-but-quiet network
+// still gets its deadlock dump at the same cycle a stepped run would
+// produce it.
+func (w *Watchdog) ExpiresAt() int64 { return w.last + w.Limit }

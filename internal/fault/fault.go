@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/engine"
@@ -345,6 +346,41 @@ func (in *Injector) OutputFault(router, port int) wormhole.OutputFault {
 	o.dropSrc = rng.New(rng.Derive(in.seed, streamDrop, uint64(router), uint64(port)))
 	o.corrSrc = rng.New(rng.Derive(in.seed, streamCorrupt, uint64(router), uint64(port)))
 	return o
+}
+
+// WindowEdges returns the sorted, deduplicated cycles at which any
+// windowed directive (stall or freeze) changes its answer: each
+// window's opening cycle At and, for transient windows, its closing
+// cycle At+Dur (dur=0 windows are permanent and only open). Between
+// two consecutive edges every Stalled/FreezeFunc predicate is
+// constant, so an event-driven simulation that wakes at each edge may
+// treat fault-blocked routers as dormant in the gaps
+// (wormhole.Router.SetFaultEdgesKnown). A nil injector has no edges.
+func (in *Injector) WindowEdges() []int64 {
+	if in == nil {
+		return nil
+	}
+	var edges []int64
+	for _, d := range in.spec.Directives {
+		if d.Kind != "stall" && d.Kind != "freeze" {
+			continue
+		}
+		edges = append(edges, d.At)
+		// A closing edge beyond the permanent-stall horizon can never
+		// be reached; skipping it also guards the At+Dur sum against
+		// overflow (same headroom rationale as permanentStall).
+		if d.Dur > 0 && d.At <= permanentStall-d.Dur {
+			edges = append(edges, d.At+d.Dur)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	out := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // FreezeFunc returns the freeze predicate to install on router (via

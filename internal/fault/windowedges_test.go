@@ -1,0 +1,55 @@
+package fault_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestWindowEdges pins the edge list the NoC event core schedules its
+// fault wake-ups from: every stall/freeze window contributes its
+// opening cycle and (when bounded) its closing cycle, sorted and
+// deduplicated; probabilistic directives contribute nothing.
+func TestWindowEdges(t *testing.T) {
+	spec := mustParse(t,
+		"stall(port=1,at=100,dur=50);freeze(router=2,at=100,dur=50);stall(port=0,at=200);drop(router=1,p=0.5);corrupt(p=0.1)")
+	got := fault.New(spec, 1).WindowEdges()
+	want := []int64{100, 150, 200}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WindowEdges() = %v, want %v", got, want)
+	}
+}
+
+// TestWindowEdgesNoOverflow pins the At+Dur overflow guard: a closing
+// edge that would land beyond the permanent-stall horizon (and so can
+// never be reached) is dropped rather than computed with wrapping
+// arithmetic.
+func TestWindowEdgesNoOverflow(t *testing.T) {
+	at := int64(math.MaxInt64>>2) - 10
+	spec := &fault.Spec{Directives: []fault.Directive{
+		{Kind: "stall", Port: 1, Router: -1, Flow: -1, At: at, Dur: 100},
+	}}
+	got := fault.New(spec, 1).WindowEdges()
+	want := []int64{at}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WindowEdges() = %v, want only the opening edge %v", got, want)
+	}
+	for _, e := range got {
+		if e < 0 {
+			t.Fatalf("negative (wrapped) edge %d", e)
+		}
+	}
+}
+
+// TestWindowEdgesNil exercises the nil-injector and no-window paths.
+func TestWindowEdgesNil(t *testing.T) {
+	var in *fault.Injector
+	if edges := in.WindowEdges(); edges != nil {
+		t.Fatalf("nil injector WindowEdges() = %v, want nil", edges)
+	}
+	if edges := fault.New(mustParse(t, "drop(p=0.5)"), 1).WindowEdges(); len(edges) != 0 {
+		t.Fatalf("drop-only WindowEdges() = %v, want empty", edges)
+	}
+}

@@ -9,8 +9,10 @@ package noc
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
+	"repro/internal/check"
 	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/obs"
@@ -197,11 +199,33 @@ type Mesh struct {
 	// release order matches submission order deterministically.
 	sched    []schedSend
 	schedSeq int64
-	// noSkip disables idle-gap time skipping in Run/Drain (oracle mode
-	// for the skip-vs-step identity tests; see SetTimeSkip).
-	noSkip bool
+	// events is the discrete-event queue proper: externally known
+	// wake-up cycles — fault-window edges registered by InstallFaults
+	// or ScheduleWake — ordered deterministically by (At, ID, Kind).
+	// Together with the sched heap's head and the routers' NextEventAt
+	// answers it bounds how far Run/Drain may advance event-to-event.
+	events queue.EventHeap
+	// dormancy records that fault-window edges were registered, so
+	// canActNow must probe active routers for dormancy (frozen or
+	// stall-blocked with edges known) instead of assuming an active
+	// router can act. Off on fault-free meshes: the probe walk never
+	// runs, so the no-fault hot path stays O(1) per cycle.
+	dormancy bool
+	// stepped disables event-to-event advancement in Run/Drain: every
+	// cycle is stepped literally (oracle mode; see SetStepped and the
+	// skip-vs-step identity tests).
+	stepped bool
 	// skipped counts cycles jumped over by time skipping.
 	skipped int64
+
+	// wd, when non-nil (WatchProgress), is the deadlock watchdog
+	// Run/Drain consult each stepped cycle — and at the trip point of
+	// any skipped gap, so a wedged-but-quiet network trips with its
+	// diagnostic instead of being jumped silently to the horizon.
+	wd *check.Watchdog
+	// onWedged, when non-nil, fires once with the trip cycle when wd
+	// expires inside Run/Drain (the channel-wait dump hook).
+	onWedged func(cycle int64)
 
 	// obs handles (nil unless RegisterObs was called).
 	obsCycles          *obs.Counter
@@ -558,21 +582,169 @@ func (m *Mesh) SetFullScan(on bool) {
 	}
 }
 
-// SetTimeSkip enables (default) or disables idle-gap time skipping in
-// Run and Drain. Skipping only ever jumps over cycles in which no
-// router is runnable, no injector holds traffic, and no scheduled
-// send comes due — cycles that are provably strict no-ops — so a
-// skipped run is cycle-stamp-identical to a stepped one.
-func (m *Mesh) SetTimeSkip(on bool) { m.noSkip = !on }
+// SetTimeSkip enables (default) or disables event-to-event time
+// advancement in Run and Drain. Advancement only ever jumps over
+// cycles that are provably strict no-ops — no router can act, no
+// injector can make progress, and no scheduled send or registered
+// fault-window edge comes due — so an event-driven run is
+// cycle-stamp-identical to a stepped one.
+func (m *Mesh) SetTimeSkip(on bool) { m.stepped = !on }
 
-// Skipped returns the number of idle cycles jumped over by time
-// skipping.
+// SetStepped, when on, disables the event core entirely: Run and
+// Drain step every cycle literally. This is the byte-identical
+// differential oracle for event-driven advancement (cmd/nocsim's
+// -stepped flag; the same pattern as -fullscan for the work-lists).
+// SetStepped(true) is equivalent to SetTimeSkip(false).
+func (m *Mesh) SetStepped(on bool) { m.stepped = on }
+
+// Skipped returns the number of no-op cycles jumped over by
+// event-driven advancement.
 func (m *Mesh) Skipped() int64 { return m.skipped }
 
-// canSkip reports whether the next cycle would be a strict no-op
-// absent a scheduled send coming due.
-func (m *Mesh) canSkip() bool {
-	return !m.noSkip && m.activeR.len() == 0 && m.activeI.len() == 0
+// ScheduleWake registers an externally known cycle at which mesh
+// state may change without any in-network progress event — a
+// fault-window edge opening or closing — so event-driven Run/Drain
+// will not treat a dormant (fault-blocked) network as skippable past
+// it. InstallFaults registers every window edge of its injector
+// automatically; callers installing windowed fault hooks directly on
+// routers (Router.SetFreeze / SetOutputFault combined with
+// SetFaultEdgesKnown) must register each edge here themselves.
+// Duplicate and past cycles are harmless; events are dropped lazily
+// once due.
+func (m *Mesh) ScheduleWake(at int64) {
+	m.events.Push(queue.Event{At: at, Kind: evWake})
+	m.dormancy = true
+}
+
+// Event kinds on the mesh event queue. Same-cycle events pop in the
+// deterministic (At, ID, Kind) order of queue.EventHeap.
+const (
+	evWake uint8 = iota // externally registered wake (fault-window edge)
+)
+
+// canActNow reports whether stepping the mesh at the current cycle
+// could change simulation state: some active router can act now, or
+// some injection front end can make progress. With no fault-window
+// edges registered (m.dormancy off) an active router always counts as
+// actable — the dormancy probe is skipped, keeping the fault-free
+// path O(1) per cycle.
+func (m *Mesh) canActNow() bool {
+	if m.activeR.len() > 0 {
+		if !m.dormancy {
+			return true
+		}
+		// Probe active routers for one that can act at m.cycle; walk
+		// the bitmap words directly (no closure) to stay off the heap.
+		for wi, w := range m.activeR.words {
+			for w != 0 {
+				id := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if m.routers[id].NextEventAt(m.cycle) <= m.cycle {
+					return true
+				}
+			}
+		}
+	}
+	for wi, w := range m.activeI.words {
+		for w != 0 {
+			id := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if m.injCanProgress(id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// injCanProgress reports whether node id's injection front end can
+// make progress this cycle. Materialising the next queued packet
+// mutates front-end state (VC assignment, flit buffer) even when the
+// first flit is then refused, so a non-empty queue always counts.
+func (m *Mesh) injCanProgress(id int) bool {
+	st := &m.inj[id]
+	if st.flits == nil {
+		return !st.queue.Empty()
+	}
+	return m.routers[id].CanAccept(PortLocal, st.vc)
+}
+
+// nextEventCycle returns the cycle Run/Drain should handle next: the
+// current cycle when something can act now (step it), otherwise the
+// earliest future event — scheduled send, registered fault-window
+// edge, or the horizon itself. Fault-window edges only bound the jump
+// while some router holds work: a window opening and closing over a
+// completely idle network is a strict no-op, so a fully idle mesh
+// skips straight across it.
+func (m *Mesh) nextEventCycle(end int64) int64 {
+	if m.stepped || m.canActNow() {
+		return m.cycle
+	}
+	next := end
+	if len(m.sched) > 0 && m.sched[0].at < next {
+		next = m.sched[0].at
+	}
+	if m.activeR.len() > 0 {
+		if at := m.events.DropDue(m.cycle); at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// HorizonCap is the absolute cycle horizon of a run. Run and Drain
+// clamp cycle+n to it so horizon arithmetic cannot overflow int64
+// even at maxCycles == math.MaxInt64 (the fault package leaves the
+// same headroom in its permanent-window encoding). At ~2.3e18 cycles
+// it is beyond any reachable simulation length.
+const HorizonCap int64 = math.MaxInt64 >> 2
+
+// horizonEnd returns the end cycle for a run of n more cycles,
+// clamped to HorizonCap. Negative n yields the current cycle (a
+// no-op run), never a wrapped horizon.
+func (m *Mesh) horizonEnd(n int64) int64 {
+	if n < 0 {
+		return m.cycle
+	}
+	if m.cycle >= HorizonCap || n >= HorizonCap || m.cycle+n > HorizonCap {
+		return HorizonCap
+	}
+	return m.cycle + n
+}
+
+// skipGap jumps from the current cycle to next without stepping,
+// first consulting the watchdog at its exact trip point. A stepped
+// run consults the watchdog every cycle of the gap; an event-driven
+// run must therefore trip at the same cycle — not silently jump a
+// wedged-but-quiet network (in-flight flits, nothing runnable) to
+// the horizon and lose the deadlock diagnostic.
+func (m *Mesh) skipGap(next int64) {
+	if m.wd != nil && !m.wd.Tripped() && len(m.inflight) > 0 {
+		if at := m.wd.ExpiresAt(); at <= next {
+			if at < m.cycle {
+				at = m.cycle
+			}
+			m.checkWedge(at)
+		}
+	}
+	m.skipTo(next)
+}
+
+// stepChecked is Step plus the per-cycle watchdog consult Run/Drain
+// perform when WatchProgress attached a watchdog.
+func (m *Mesh) stepChecked() {
+	m.Step()
+	if m.wd != nil {
+		m.checkWedge(m.cycle)
+	}
+}
+
+// checkWedge consults the watchdog at cycle c and fires the OnWedged
+// hook on the (single) tripping call.
+func (m *Mesh) checkWedge(c int64) {
+	if m.wd.Expired(c, int64(len(m.inflight))) && m.onWedged != nil {
+		m.onWedged(c)
+	}
 }
 
 // skipTo jumps the cycle counter to c without stepping. Only call
@@ -759,52 +931,44 @@ func (m *Mesh) computeSharded(pool *exec.Pool, ids []int) {
 	pool.Do(m.shardTasks...)
 }
 
-// Run advances the mesh by n cycles. When the network is completely
-// idle — no runnable router, no injector traffic — and the next
-// scheduled send (SendAt) is known, the cycle counter jumps straight
-// to it instead of stepping provably-empty cycles; the run is
-// cycle-stamp-identical to a stepped one (SetTimeSkip(false) restores
-// literal stepping).
+// Run advances the mesh by n cycles (clamped to HorizonCap),
+// event-to-event: cycles in which something can act — a router that
+// can forward or grant, an injector with traffic the network will
+// take, a scheduled send or registered fault-window edge coming due —
+// are stepped; provably no-op gaps between events are jumped in one
+// move. The run is cycle-stamp- and artifact-identical to a stepped
+// one (SetStepped(true) restores literal stepping as the oracle).
 func (m *Mesh) Run(n int64) {
-	end := m.cycle + n
+	end := m.horizonEnd(n)
 	for m.cycle < end {
-		if m.canSkip() {
-			next := end
-			if len(m.sched) > 0 && m.sched[0].at < end {
-				next = m.sched[0].at
-			}
-			if next > m.cycle {
-				m.skipTo(next)
-				continue
-			}
+		if next := m.nextEventCycle(end); next > m.cycle {
+			m.skipGap(next)
+			continue
 		}
-		m.Step()
+		m.stepChecked()
 	}
 }
 
-// Drain steps until every in-flight packet is delivered (and every
-// scheduled send released) or maxCycles elapse; it reports whether
-// the network drained. Idle gaps are time-skipped exactly as in Run;
-// in particular a wedged-but-quiet network (flits leaked by fault
-// injection, nothing runnable and no event pending) jumps to the
-// cycle horizon at once, since no amount of stepping would move it.
+// Drain runs until every in-flight packet is delivered (and every
+// scheduled send released) or maxCycles elapse (clamped to
+// HorizonCap); it reports whether the network drained. Gaps between
+// events are jumped exactly as in Run. A wedged-but-quiet network
+// (flits leaked or stuck by fault injection, nothing able to act, no
+// event pending) still jumps to the horizon — no amount of stepping
+// would move it — but only after the attached watchdog (WatchProgress)
+// has been consulted at its exact trip cycle, so the wedge trips the
+// OnWedged diagnostic instead of being skipped over silently.
 func (m *Mesh) Drain(maxCycles int64) bool {
-	end := m.cycle + maxCycles
+	end := m.horizonEnd(maxCycles)
 	for m.cycle < end {
 		if m.InFlight() == 0 && len(m.sched) == 0 {
 			return true
 		}
-		if m.canSkip() {
-			next := end
-			if len(m.sched) > 0 && m.sched[0].at < end {
-				next = m.sched[0].at
-			}
-			if next > m.cycle {
-				m.skipTo(next)
-				continue
-			}
+		if next := m.nextEventCycle(end); next > m.cycle {
+			m.skipGap(next)
+			continue
 		}
-		m.Step()
+		m.stepChecked()
 	}
 	return m.InFlight() == 0 && len(m.sched) == 0
 }

@@ -28,6 +28,18 @@ func (m *Mesh) InstallFaults(inj *fault.Injector) {
 			}
 		}
 	}
+	// Register every stall/freeze window edge as a wake event and
+	// declare the edges known, so event-driven Run/Drain may treat
+	// fault-blocked routers as dormant between edges instead of polling
+	// them cycle-by-cycle (see wormhole.Router.NextEventAt). This must
+	// come after the hook installs above: SetFreeze/SetOutputFault
+	// withdraw the declaration.
+	for _, at := range inj.WindowEdges() {
+		m.ScheduleWake(at)
+	}
+	for _, r := range m.routers {
+		r.SetFaultEdgesKnown(true)
+	}
 }
 
 // CheckStreams attaches a flit-stream validator (wormhole contiguity,
@@ -54,8 +66,15 @@ func (m *Mesh) CheckStreams(rec *check.Recorder) []*check.FlitStream {
 
 // WatchProgress feeds every flit delivery to the watchdog, so a mesh
 // with in-flight packets that delivers nothing for the watchdog's
-// budget is flagged as deadlocked (check the wait graph) or livelocked.
+// budget is flagged as deadlocked (check the wait graph) or
+// livelocked. The watchdog is also attached to Run/Drain, which
+// consult it every stepped cycle AND at the exact trip cycle inside
+// any skipped gap — closing the blind spot where event-driven
+// advancement would jump a wedged-but-quiet network (in-flight
+// packets, nothing runnable) straight to the horizon without ever
+// tripping it.
 func (m *Mesh) WatchProgress(wd *check.Watchdog) {
+	m.wd = wd
 	for id := range m.sinks {
 		s := m.sinks[id]
 		prev := s.OnFlit
@@ -67,6 +86,13 @@ func (m *Mesh) WatchProgress(wd *check.Watchdog) {
 		}
 	}
 }
+
+// SetOnWedged installs a hook fired at most once — on the watchdog's
+// single tripping call inside Run/Drain — with the trip cycle, for
+// channel-wait diagnostics (WaitGraph / FormatWaitGraph) at the
+// moment of the wedge. WatchProgress must have attached the watchdog
+// first.
+func (m *Mesh) SetOnWedged(fn func(cycle int64)) { m.onWedged = fn }
 
 // WaitGraph returns the channel-wait edges of every router — who is
 // blocked on what, and why — for deadlock diagnosis after a watchdog

@@ -233,6 +233,11 @@ type Router struct {
 	// frozen, when non-nil, reports whether the whole router is frozen
 	// at a cycle (fault injection: a crashed/wedged switch ASIC).
 	frozen func(cycle int64) bool
+	// faultEdgesKnown records that the owner tracks every fault-window
+	// edge of the installed hooks and wakes the router at each one, so
+	// NextEventAt may treat a fault-blocked router as dormant instead
+	// of polling (see SetFaultEdgesKnown).
+	faultEdgesKnown bool
 	// FaultDropped counts flits lost on this router's faulty output
 	// links (the dropped-by-fault term of flit conservation).
 	FaultDropped int64
@@ -542,9 +547,13 @@ func (r *Router) announceHead(port, vc int, h flit.Flit) {
 func (r *Router) ClearActiveHint() { r.activeHint = false }
 
 // SetOutputFault installs (or, with nil, removes) a fault injector on
-// output link port.
+// output link port. Installing a fault directly withdraws any
+// SetFaultEdgesKnown declaration: the router can no longer assume its
+// fault windows are externally tracked, so NextEventAt falls back to
+// per-cycle polling until the owner re-declares the edges.
 func (r *Router) SetOutputFault(port int, f OutputFault) {
 	r.outFault[port] = f
+	r.faultEdgesKnown = false
 	if f != nil {
 		r.outs[port].flags |= outHasFault
 	} else {
@@ -556,8 +565,24 @@ func (r *Router) SetOutputFault(port int, f OutputFault) {
 // router does nothing — no forwarding, no grants — while its input
 // buffers keep accepting flits until credits exhaust, which is
 // exactly how a wedged switch back-pressures its neighbours. nil
-// removes the predicate.
-func (r *Router) SetFreeze(f func(cycle int64) bool) { r.frozen = f }
+// removes the predicate. Like SetOutputFault, installing a predicate
+// withdraws any SetFaultEdgesKnown declaration.
+func (r *Router) SetFreeze(f func(cycle int64) bool) {
+	r.frozen = f
+	r.faultEdgesKnown = false
+}
+
+// SetFaultEdgesKnown declares that the caller tracks every cycle at
+// which this router's installed fault hooks change their answer — the
+// opening and closing edges of each freeze and stall window — and
+// will wake the router at those cycles. Only under this declaration
+// may NextEventAt report a fault-blocked router as dormant
+// (EventNever) instead of making it poll every cycle. The declaration
+// is withdrawn automatically by any later SetFreeze/SetOutputFault
+// call, since a directly installed predicate has edges the owner
+// never saw (noc.Mesh.InstallFaults re-declares after installing the
+// window directives whose edges it registered).
+func (r *Router) SetFaultEdgesKnown(on bool) { r.faultEdgesKnown = on }
 
 // SetOnActive installs a hook fired when an external event (flit
 // arrival, credit return) leaves a router Runnable. The mesh uses it
@@ -577,6 +602,76 @@ func (r *Router) Busy() bool { return r.work > 0 }
 // re-enters it on the work-lists and fires the onActive hook — so a
 // caller may skip it without changing any observable state.
 func (r *Router) Runnable() bool { return r.pendingOut.Any() || r.grantable.Any() }
+
+// EventNever is NextEventAt's "no self-scheduled event" answer: the
+// router cannot change state until an external stimulus (flit
+// arrival, credit return, or a fault-window edge the owner tracks)
+// wakes it.
+const EventNever = queue.EventNever
+
+// NextEventAt reports the earliest cycle >= now at which stepping
+// this router could change simulation state: now itself when it can
+// act (some output may forward, or a grant is possible), or
+// EventNever when every piece of held work is blocked on an external
+// event. Three router states are dormant:
+//
+//   - not Runnable: every worm is hard-blocked; acceptFlit or
+//     creditArrived re-enters it on the work-lists and fires onActive;
+//   - frozen, with SetFaultEdgesKnown declared: Compute is a no-op
+//     until the freeze window's closing edge, which the owner wakes
+//     it at;
+//   - every pending output stall-blocked by an edges-known fault, with
+//     nothing grantable: tryForward returns before mutating anything
+//     until a window edge, an arrival, or a credit changes the answer.
+//
+// A fault installed directly via SetFreeze/SetOutputFault (edges
+// unknown) makes the router report now — an arbitrary predicate may
+// change its answer at any cycle, so the router must poll. Skipping a
+// dormant router's cycles is byte-identical to stepping them except
+// for the visit telemetry (cellsVisited) the skipped polls would have
+// accrued.
+func (r *Router) NextEventAt(now int64) int64 {
+	if !r.pendingOut.Any() && !r.grantable.Any() {
+		return EventNever
+	}
+	if r.frozen != nil && r.frozen(now) {
+		if r.faultEdgesKnown {
+			return EventNever
+		}
+		return now
+	}
+	if r.grantable.Any() {
+		return now
+	}
+	// Runnable through pendingOut alone: dormant only if every pending
+	// output is held shut by a stalled, edges-known fault. A pending
+	// output without locks is actable (stepping clears the stale bit),
+	// as is any unfaulted or unstalled one.
+	if !r.faultEdgesKnown {
+		return now
+	}
+	pw := r.pendingOut.Words()
+	for wi, w := range pw {
+		for w != 0 {
+			o := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r.outs[o].lockCount == 0 {
+				return now
+			}
+			f := r.outFault[o]
+			if f == nil || !f.Stalled(now) {
+				return now
+			}
+		}
+	}
+	return EventNever
+}
+
+// CanAccept reports whether input (port, vc) could accept a flit
+// right now — Inject's admission test without the injection. Owners
+// use it to decide whether an injection front end blocked on a
+// dormant router can make progress.
+func (r *Router) CanAccept(port, vc int) bool { return r.in[port].canAccept(vc) }
 
 // SetFullScan, when on, makes Compute use the original full
 // ports-x-VCs scans instead of the work-lists, while maintaining the
@@ -1064,6 +1159,11 @@ func (s *StallSink) AcceptFlit(f flit.Flit, vc int, cycle int64) {
 
 // BufFlits implements Endpoint.
 func (s *StallSink) BufFlits() int { return s.Capacity }
+
+// Buffered returns the number of flits held but not yet drained. An
+// empty sink's Step is a no-op that draws no randomness, so callers
+// advancing time event-to-event may skip it.
+func (s *StallSink) Buffered() int { return len(s.buffered) }
 
 // Bind attaches the sink to the router output feeding it so drained
 // flits return credits. Call after ConnectEndpoint.
