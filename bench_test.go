@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/wormhole"
 )
@@ -123,7 +124,7 @@ func BenchmarkFig3Trace(b *testing.B) {
 			d.Arrive(flit.Packet{Flow: 2, Length: l})
 		}
 		d.Drain()
-		if err := rec.WriteTable(io.Discard); err != nil {
+		if err := trace.WriteRecorderTable(io.Discard, rec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -28,6 +28,8 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // renderer is the common shape of every experiment result.
@@ -63,6 +65,8 @@ func main() {
 		checkInv  = flag.Bool("check", false, "enable the runtime invariant checker (ERR Lemma 1, flit conservation, FIFO, deadlock watchdog); violations fail the run with a cycle-stamped report")
 		ckptPath  = flag.String("checkpoint", "", "record completed grid jobs to this JSONL file for crash-resilient sweeps (\"\" = off)")
 		resume    = flag.Bool("resume", false, "resume from -checkpoint, skipping jobs it already holds; aggregate output is byte-identical to an uninterrupted run")
+		traceOut  = flag.String("trace-out", "", "write sampled packet spans (inject -> departure per grid job) as Chrome trace-event JSON (Perfetto-loadable) to this file; with -parallel > 1 track numbering follows job completion order")
+		traceSamp = flag.Int("trace-sample", 64, "with -trace-out: trace one in this many packets (1 = every packet)")
 	)
 	flag.Parse()
 	if *resume && *ckptPath == "" {
@@ -95,13 +99,33 @@ func main() {
 		Checkpoint: *ckptPath,
 		Resume:     *resume,
 	}
+	var et *trace.EngineTrace
+	if *traceOut != "" {
+		et = trace.NewEngineTrace(rng.Derive(*seed, 0x7ace), *traceSamp, 1<<20)
+	}
 	start := time.Now()
-	res, err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, prog, col, rb)
+	res, err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, prog, col, rb, et)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
 		os.Exit(1)
 	}
 	wall := time.Since(start)
+	if et != nil {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.WriteChrome(f, et.Records(), nil)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errsim: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if d := et.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "errsim: trace: %d spans overwritten (lower -trace-sample or shorten the run)\n", d)
+		}
+	}
 	if err := emit(os.Stdout, res, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
 		os.Exit(1)
@@ -121,7 +145,7 @@ func main() {
 	}
 }
 
-func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, prog exec.Progress, col *obs.Collector, rb experiments.Robustness) (renderer, error) {
+func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, prog exec.Progress, col *obs.Collector, rb experiments.Robustness, et *trace.EngineTrace) (renderer, error) {
 	switch exp {
 	case "table1":
 		p := experiments.DefaultTable1Params()
@@ -129,6 +153,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Fig4.Collector = col
+		p.Fig4.Trace = et
 		p.Fig4.Robustness = rb
 		if cycles > 0 {
 			p.Fig4.Cycles = cycles
@@ -145,6 +170,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Trace = et
 		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
@@ -161,6 +187,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Trace = et
 		p.Robustness = rb
 		if cycles > 0 {
 			p.BurstCycles = cycles
@@ -176,6 +203,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Trace = et
 		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
@@ -191,6 +219,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Trace = et
 		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles
@@ -228,6 +257,7 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 		p.Workers = parallel
 		p.Progress = prog
 		p.Collector = col
+		p.Trace = et
 		p.Robustness = rb
 		if cycles > 0 {
 			p.Cycles = cycles

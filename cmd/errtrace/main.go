@@ -16,6 +16,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/harness"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -78,7 +79,7 @@ func main() {
 	fmt.Println("Figure 3 — rounds of an Elastic Round Robin execution")
 	fmt.Println("A_i(r) = 1 + MaxSC(r-1) - SC_i(r-1);  SC_i(r) = Sent_i(r) - A_i(r)")
 	fmt.Println()
-	if err := rec.WriteTable(os.Stdout); err != nil {
+	if err := trace.WriteRecorderTable(os.Stdout, rec); err != nil {
 		fmt.Fprintf(os.Stderr, "errtrace: %v\n", err)
 		os.Exit(1)
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -42,6 +43,10 @@ func main() {
 		par     = flag.Int("parallel-mesh", 1, "shard mesh stepping across this many workers (1 = serial, 0 = GOMAXPROCS); output is identical at any setting")
 		fscan   = flag.Bool("fullscan", false, "arbitrate with full ports-x-VCs scans instead of the event-driven work-lists (oracle mode; output is identical either way)")
 		stepF   = flag.Bool("stepped", false, "step every cycle literally instead of advancing event-to-event (oracle mode; deliveries and latency are identical, but telemetry counting performed work — routers active, sites visited, cycles skipped — reflects the costlier run)")
+		traceF  = flag.Bool("trace", false, "attach the packet flight recorder and print per-flow latency tails, hop-time decomposition, and Jain fairness epochs")
+		traceS  = flag.Int("trace-sample", 64, "trace one in this many packets (1 = every packet); sampling is seed-derived per packet id, so trace output is byte-identical across stepping modes")
+		traceC  = flag.String("trace-out", "", "write sampled-packet spans as Chrome trace-event JSON (Perfetto-loadable) to this file (implies -trace)")
+		traceJ  = flag.String("trace-jsonl", "", "write sampled-packet spans as JSONL to this file (implies -trace)")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -52,13 +57,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "nocsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par, *fscan, *stepF); err != nil {
+	topts := traceOpts{enabled: *traceF || *traceC != "" || *traceJ != "",
+		sample: *traceS, chrome: *traceC, jsonl: *traceJ}
+	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par, *fscan, *stepF, topts); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool) error {
+// traceOpts bundles the flight-recorder flags.
+type traceOpts struct {
+	enabled bool
+	sample  int
+	chrome  string
+	jsonl   string
+}
+
+func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool, topts traceOpts) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -145,6 +160,15 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		m.SetOnWedged(func(c int64) { wedgeErr = wedgeReport(c) })
 	}
 
+	var tr *trace.Trace
+	if topts.enabled {
+		tr = m.EnableTrace(noc.TraceConfig{
+			Seed:        rng.Derive(seed, 0x7ace),
+			SampleEvery: topts.sample,
+			Reg:         obs.Default(),
+		})
+	}
+
 	var pat noc.Pattern
 	switch pattern {
 	case "uniform":
@@ -217,6 +241,31 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 	if err := plot.Bar(os.Stdout, "Delivered flits per source node", labels, flits, 50); err != nil {
 		return err
 	}
+	if tr != nil {
+		tr.Finish(m.Cycle())
+		recs := tr.Records()
+		ws := trace.WindowsFromSpec(spec)
+		if err := writeTraceFile(topts.chrome, func(w *os.File) error {
+			return trace.WriteChrome(w, recs, ws)
+		}); err != nil {
+			return err
+		}
+		if err := writeTraceFile(topts.jsonl, func(w *os.File) error {
+			return trace.WriteJSONL(w, recs, ws)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("\nflight recorder: %d spans (1-in-%d sampling, %d overwritten)\n",
+			len(recs), topts.sample, tr.Dropped())
+		if err := tr.Rollup().Render(os.Stdout); err != nil {
+			return err
+		}
+		if rec != nil {
+			// Span invariants report into the same recorder as the
+			// stream checks, so violations fail the run below.
+			trace.Audit(recs, rec.Report)
+		}
+	}
 	if rec != nil {
 		if err := rec.Err(); err != nil {
 			return fmt.Errorf("invariant checking failed: %w", err)
@@ -224,4 +273,20 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		fmt.Printf("\ninvariant checking: %d violations\n", rec.Count())
 	}
 	return nil
+}
+
+// writeTraceFile writes one trace export to path ("" = skip).
+func writeTraceFile(path string, write func(*os.File) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

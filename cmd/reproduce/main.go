@@ -29,6 +29,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // renderer is the common shape of experiment results.
@@ -211,7 +212,7 @@ func (f fig3Renderer) Render(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "Figure 3 — rounds of an Elastic Round Robin execution"); err != nil {
 		return err
 	}
-	return f.rec.WriteTable(w)
+	return trace.WriteRecorderTable(w, f.rec)
 }
 
 // fig3Trace replays the DESIGN.md Figure 3 example.

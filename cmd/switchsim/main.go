@@ -19,6 +19,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/wormhole"
 )
 
@@ -41,6 +42,10 @@ func main() {
 		fscan  = flag.Bool("fullscan", false, "arbitrate with full ports-x-VCs scans instead of the event-driven work-lists (oracle mode; output must be identical)")
 		par    = flag.Int("parallel-mesh", 1, "step the switch through the explicit two-phase compute/commit path (any value != 1); a single switch has nothing to shard, but output must be identical")
 		stepF  = flag.Bool("stepped", false, "step every cycle literally instead of jumping dormant fault windows event-to-event (oracle mode; throughput and fault counters are identical, but arbitration-sites-visited reflects the costlier run)")
+		traceF = flag.Bool("trace", false, "attach the packet flight recorder and print per-input latency tails, hop-time decomposition, and Jain fairness epochs")
+		traceS = flag.Int("trace-sample", 64, "trace one in this many packets (1 = every packet); sampling is seed-derived per packet id, so trace output is byte-identical across stepping modes")
+		traceC = flag.String("trace-out", "", "write sampled-packet spans as Chrome trace-event JSON (Perfetto-loadable) to this file (implies -trace)")
+		traceJ = flag.String("trace-jsonl", "", "write sampled-packet spans as JSONL to this file (implies -trace)")
 	)
 	flag.Parse()
 	if *pprofA != "" {
@@ -51,13 +56,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "switchsim: pprof on http://%s/debug/pprof/ (registry at /debug/vars)\n", addr)
 	}
-	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF, *par, *fscan, *stepF); err != nil {
+	topts := traceOpts{enabled: *traceF || *traceC != "" || *traceJ != "",
+		sample: *traceS, chrome: *traceC, jsonl: *traceJ}
+	if err := run(*inputs, *vcs, *buf, *arb, *minLen, *maxLen, *bigIn, *drainP, *cycles, *seed, *faults, *fseed, *checkF, *par, *fscan, *stepF, topts); err != nil {
 		fmt.Fprintf(os.Stderr, "switchsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool) error {
+// traceOpts bundles the flight-recorder flags.
+type traceOpts struct {
+	enabled bool
+	sample  int
+	chrome  string
+	jsonl   string
+}
+
+func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP float64, cycles int64, seed uint64, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool, topts traceOpts) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -151,6 +166,39 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 		wd = check.NewWatchdog(limit)
 	}
 
+	// The flight recorder treats the switch as a single hop: the
+	// router-side tracer records the arbitration span, and the CLI
+	// emits inject (packet drawn into the backlog) and deliver (true
+	// tail observed at the sink) around it. Malformed packets are not
+	// flight-recorded — they have no well-defined span.
+	type pktMeta struct {
+		t0     int64
+		length int
+	}
+	var tr *trace.Trace
+	var inflight map[int64]pktMeta
+	var nextID int64 = 1
+	if topts.enabled {
+		tr = trace.New(trace.Config{
+			Seed:        rng.Derive(seed, 0x7ace),
+			SampleEvery: topts.sample,
+			Flows:       ports,
+			Reg:         obs.Default(),
+		})
+		r.SetTracer(tr.AddRouter(0, ports, vcs, buf))
+		inflight = make(map[int64]pktMeta)
+		prev := sink.Inner.OnFlit
+		sink.Inner.OnFlit = func(f flit.Flit, vc int, cycle int64) {
+			if f.Kind == flit.Tail || f.Kind == flit.HeadTail {
+				if meta, ok := inflight[f.PktID]; ok && f.Seq == meta.length-1 {
+					tr.Deliver(f, meta.length, cycle-meta.t0+1, cycle)
+					delete(inflight, f.PktID)
+				}
+			}
+			prev(f, vc, cycle)
+		}
+	}
+
 	// Keep every input backlogged, feeding whole packets when space
 	// allows.
 	dists := make([]rng.LengthDist, inputs)
@@ -228,12 +276,15 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 		for in := 0; in < inputs; in++ {
 			port := in + 1
 			if pending[in] == nil {
-				p := flit.Packet{Flow: port, Length: dists[in].Draw(src), Dst: 0}
+				p := flit.Packet{Flow: port, Length: dists[in].Draw(src), Dst: 0, ID: nextID}
+				nextID++
 				fs := p.Flits()
+				wellFormed := true
 				for _, d := range mdirs {
 					if msrc.Bernoulli(d.P) {
 						fs = fault.MalformedFlits(d.MKind, port, p.Length, malformed)
 						malformed++
+						wellFormed = false
 						break
 					}
 				}
@@ -241,6 +292,15 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 					continue // zero-length malformation: nothing to inject
 				}
 				pending[in] = fs
+				if tr != nil && wellFormed {
+					if tr.Sampler().Sample(p.ID) {
+						for i := range fs {
+							fs[i].Traced = true
+						}
+					}
+					tr.Inject(p.ID, port, 0, port, p.Length, c)
+					inflight[p.ID] = pktMeta{t0: c, length: p.Length}
+				}
 			}
 			// Inject on VC 0: a packet's flits must stay contiguous
 			// within one VC.
@@ -283,6 +343,31 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 	if err := plot.Bar(os.Stdout, "Flits delivered per input on the contended output", labels, served, 50); err != nil {
 		return err
 	}
+	if tr != nil {
+		tr.Finish(cycles)
+		recs := tr.Records()
+		ws := trace.WindowsFromSpec(spec)
+		if err := writeTraceFile(topts.chrome, func(w *os.File) error {
+			return trace.WriteChrome(w, recs, ws)
+		}); err != nil {
+			return err
+		}
+		if err := writeTraceFile(topts.jsonl, func(w *os.File) error {
+			return trace.WriteJSONL(w, recs, ws)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("\nflight recorder: %d spans (1-in-%d sampling, %d overwritten)\n",
+			len(recs), topts.sample, tr.Dropped())
+		if err := tr.Rollup().Render(os.Stdout); err != nil {
+			return err
+		}
+		if rec != nil {
+			// Span invariants report into the same recorder as the
+			// stream checks, so violations fail the run below.
+			trace.Audit(recs, rec.Report)
+		}
+	}
 	if rec != nil {
 		if err := rec.Err(); err != nil {
 			return fmt.Errorf("invariant checking failed: %w", err)
@@ -290,4 +375,20 @@ func run(inputs, vcs, buf int, arb string, minLen, maxLen, bigIn int, drainP flo
 		fmt.Printf("\ninvariant checking: %d violations\n", rec.Count())
 	}
 	return nil
+}
+
+// writeTraceFile writes one trace export to path ("" = skip).
+func writeTraceFile(path string, write func(*os.File) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -227,6 +227,14 @@ func (r *Recorder) Register(reg *obs.Registry) *Recorder {
 	return r
 }
 
+// Report records a violation from an external auditor (the flight
+// recorder's span checks report through here, so trace violations
+// land in the same store, caps, and obs counter as the built-in
+// invariants). The signature matches trace.Audit's report sink.
+func (r *Recorder) Report(cycle int64, invariant string, flow int, format string, argv ...any) {
+	r.report(cycle, invariant, flow, format, argv...)
+}
+
 // report records a violation, stamping it with the trailing events.
 func (r *Recorder) report(cycle int64, invariant string, flow int, format string, argv ...any) {
 	if r.counter != nil {

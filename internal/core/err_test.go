@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 func pkt(flow, length int) flit.Packet { return flit.Packet{Flow: flow, Length: length} }
@@ -514,7 +515,7 @@ func TestTraceTableRendering(t *testing.T) {
 	d.Arrive(pkt(1, 2))
 	d.Drain()
 	var sb strings.Builder
-	if err := rec.WriteTable(&sb); err != nil {
+	if err := trace.WriteRecorderTable(&sb, rec); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flit"
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 // Example shows ERR serving three flows without ever seeing a packet
@@ -24,7 +25,7 @@ func Example() {
 	d.Arrive(flit.Packet{Flow: 0, Length: 2})
 	d.Drain()
 
-	rec.WriteTable(os.Stdout)
+	trace.WriteRecorderTable(os.Stdout, rec)
 	// Output:
 	// Round 1 (PreviousMaxSC=0, visits=3)
 	//   flow 0: A=1    sent=9    SC=8

@@ -1,11 +1,5 @@
 package core
 
-import (
-	"fmt"
-	"io"
-	"strings"
-)
-
 // RoundEvent is one flow's service opportunity as seen by a TraceRecorder.
 type RoundEvent struct {
 	Round     int64
@@ -65,33 +59,6 @@ func (r *TraceRecorder) MaxSCOfRound(round int64) int64 {
 		}
 	}
 	return max
-}
-
-// WriteTable renders the recorded rounds as the kind of table the
-// paper's Figure 3 depicts: per round, each flow's allowance, the
-// flits it sent, and its resulting surplus count.
-func (r *TraceRecorder) WriteTable(w io.Writer) error {
-	for _, ri := range r.Rounds {
-		if _, err := fmt.Fprintf(w, "Round %d (PreviousMaxSC=%d, visits=%d)\n",
-			ri.Round, ri.PrevMaxSC, ri.Visits); err != nil {
-			return err
-		}
-		for _, e := range r.EventsOfRound(ri.Round) {
-			mark := ""
-			if e.Left {
-				mark = "  [drained]"
-			}
-			line := fmt.Sprintf("  flow %d: A=%-4d sent=%-4d SC=%-4d%s",
-				e.Flow, e.Allowance, e.Sent, e.Surplus, mark)
-			if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "  MaxSC=%d\n", r.MaxSCOfRound(ri.Round)); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 var _ TraceSink = (*TraceRecorder)(nil)

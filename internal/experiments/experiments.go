@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -79,6 +80,9 @@ type SimConfig struct {
 	// metrics. Safe to share across concurrent runs: all collector
 	// mutations are atomic.
 	Collector *obs.Collector `json:"-"`
+	// Trace, if set, is the packet flight recorder wired onto the
+	// engine callbacks (each run becomes one track of engine spans).
+	Trace *trace.EngineTrace `json:"-"`
 	// FaultSpec, when non-empty, is a fault directive string (see
 	// fault.Parse) injected into this run: link stalls wrap Stall,
 	// malformed packets wrap Source. Fault randomness derives from
@@ -157,6 +161,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 	if cfg.Collector != nil {
 		cfg.Collector.Wire(&ecfg)
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Wire(&ecfg.OnInject, &ecfg.OnDeparture)
 	}
 
 	spec, err := fault.Parse(cfg.FaultSpec)

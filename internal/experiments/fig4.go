@@ -10,6 +10,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -43,6 +44,9 @@ type Fig4Params struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Trace, if set, is the packet flight recorder wired into every
+	// grid job (see SimConfig.Trace); each job becomes one span track.
+	Trace *trace.EngineTrace `json:"-"`
 	// Robustness carries the fault-injection, invariant-checking and
 	// checkpoint/resume knobs.
 	Robustness
@@ -139,6 +143,7 @@ func RunFig4(p Fig4Params, panel string) (*Fig4Result, error) {
 				Source:    fig4Source(p),
 				Cycles:    p.Cycles,
 				Collector: p.Collector,
+				Trace:     p.Trace,
 				FaultSpec: p.Faults,
 				FaultSeed: p.faultSeed(p.Seed, i),
 				Check:     p.Check,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -40,6 +41,9 @@ type Fig5Params struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Trace, if set, is the packet flight recorder wired into every
+	// grid job (see SimConfig.Trace); each job becomes one span track.
+	Trace *trace.EngineTrace `json:"-"`
 	// Robustness carries the fault-injection, invariant-checking and
 	// checkpoint/resume knobs.
 	Robustness
@@ -143,6 +147,7 @@ func RunFig5(p Fig5Params, panel string) (*Fig5Result, error) {
 						Cycles:     p.BurstCycles,
 						DrainAfter: true,
 						Collector:  p.Collector,
+						Trace:      p.Trace,
 						FaultSpec:  p.Faults,
 						FaultSeed:  p.faultSeed(p.Seed, job),
 						Check:      p.Check,

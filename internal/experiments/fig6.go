@@ -10,6 +10,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -39,6 +40,9 @@ type Fig6Params struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Trace, if set, is the packet flight recorder wired into every
+	// grid job (see SimConfig.Trace); each job becomes one span track.
+	Trace *trace.EngineTrace `json:"-"`
 	// Robustness carries the fault-injection, invariant-checking and
 	// checkpoint/resume knobs.
 	Robustness
@@ -104,6 +108,7 @@ func RunFig6(p Fig6Params) (*Fig6Result, error) {
 					Cycles:    p.Cycles,
 					WithLog:   true,
 					Collector: p.Collector,
+					Trace:     p.Trace,
 					FaultSpec: p.Faults,
 					FaultSeed: p.faultSeed(p.Seed, job),
 					Check:     p.Check,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -35,6 +36,9 @@ type WeightedParams struct {
 	// Collector, if set, accumulates registry telemetry from every
 	// grid job (see SimConfig.Collector); it never affects the result.
 	Collector *obs.Collector `json:"-"`
+	// Trace, if set, is the packet flight recorder wired into every
+	// grid job (see SimConfig.Trace); each job becomes one span track.
+	Trace *trace.EngineTrace `json:"-"`
 	// Robustness carries the fault-injection and invariant-checking
 	// knobs. Checkpointing is not supported here: the experiment is a
 	// single simulation whose raw result does not round-trip JSON, and
@@ -82,6 +86,7 @@ func RunWeighted(p WeightedParams) (*WeightedResult, error) {
 			Source:    traffic.NewMulti(sources...),
 			Cycles:    p.Cycles,
 			Collector: p.Collector,
+			Trace:     p.Trace,
 			FaultSpec: p.Faults,
 			FaultSeed: p.faultSeed(p.Seed, 0),
 			Check:     p.Check,

@@ -60,6 +60,13 @@ type Flit struct {
 	Flow int
 	// Kind is the flit's position within its packet.
 	Kind Kind
+	// Traced marks a flit of a packet the flight recorder sampled.
+	// Stamped once at injection (a pure function of the trace seed
+	// and PktID, so every stepping mode stamps identically) and
+	// carried hop to hop, it lets routers skip every tracer call for
+	// unsampled traffic without rehashing the id. False whenever no
+	// recorder is attached.
+	Traced bool
 	// Seq is the flit's 0-based index within its packet.
 	Seq int
 	// Dst is the destination carried by the head flit (meaningful only

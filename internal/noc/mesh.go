@@ -19,6 +19,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wormhole"
 )
 
@@ -177,6 +178,11 @@ type Mesh struct {
 	nextID  int64
 
 	inflight map[int64]pktMeta
+
+	// tr, when non-nil, is the packet flight recorder (EnableTrace):
+	// injects are recorded in Send, deliveries in onTail — both on
+	// serial phases of the step, so the recorder needs no locking.
+	tr *trace.Trace
 
 	activeR *idSet // routers with buffered flits or live allocations
 	activeI *idSet // nodes with queued or mid-injection packets
@@ -457,6 +463,9 @@ func (m *Mesh) onTail(f flit.Flit, cycle int64) {
 	}
 	m.DeliveredPackets[f.Flow]++
 	m.Latency.Add(float64(cycle - meta.t0 + 1))
+	if m.tr != nil {
+		m.tr.Deliver(f, meta.length, cycle-meta.t0+1, cycle)
+	}
 	delete(m.inflight, f.PktID)
 }
 
@@ -474,6 +483,9 @@ func (m *Mesh) Send(src, dst, length int) {
 	m.nextID++
 	p := flit.Packet{Flow: src, Length: length, Dst: dst, ID: id}
 	m.inflight[id] = pktMeta{t0: m.cycle, length: length}
+	if m.tr != nil {
+		m.tr.Inject(id, src, dst, src, length, m.cycle)
+	}
 	m.inj[src].queue.Push(p)
 	m.activeI.add(src)
 }
@@ -867,6 +879,11 @@ func (m *Mesh) injectPhase() {
 		if st.flits == nil && !st.queue.Empty() {
 			p := st.queue.Pop()
 			st.buf = p.AppendFlits(st.buf[:0])
+			if m.tr != nil && m.tr.Sampler().Sample(p.ID) {
+				for i := range st.buf {
+					st.buf[i].Traced = true
+				}
+			}
 			st.flits = st.buf
 			st.next = 0
 			// Torus packets must start in the lower (pre-dateline)

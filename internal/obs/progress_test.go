@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestProgressFinalLine pins that the final update (done == total) is
+// always rendered — throttling notwithstanding — and terminates the
+// in-place line with the elapsed time.
+func TestProgressFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sims")
+	for i := 1; i <= 5; i++ {
+		p(i, 5)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\rsims: 5/5 (100.0%)") {
+		t.Fatalf("final line missing from %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("final update did not terminate the line: %q", out)
+	}
+	if !strings.Contains(out, " in ") {
+		t.Fatalf("final update missing elapsed time: %q", out)
+	}
+}
+
+// TestProgressThrottles pins the 200ms throttle: a rapid burst of
+// non-final updates renders at most the first (the rest fall inside
+// the throttle window).
+func TestProgressThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "x")
+	for i := 1; i <= 100; i++ {
+		p(i, 1000)
+	}
+	if n := strings.Count(buf.String(), "\r"); n > 2 {
+		t.Fatalf("throttle let %d of 100 rapid updates through", n)
+	}
+}
+
+// TestProgressOutOfOrder pins the monotonic guard: a completion that
+// reports behind the best seen (pool workers finish out of order) must
+// never rewind the rendered count.
+func TestProgressOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "x")
+	p(3, 3) // final: always rendered
+	p(1, 3) // stale: must be ignored
+	out := buf.String()
+	if strings.Contains(out, "1/3") {
+		t.Fatalf("stale update rendered after final: %q", out)
+	}
+	if !strings.Contains(out, "3/3") {
+		t.Fatalf("final update missing: %q", out)
+	}
+}
+
+// TestProgressZeroTotal pins the degenerate-total guard (no division
+// by zero, 0.0% rendered).
+func TestProgressZeroTotal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "x")
+	p(0, 0)
+	if !strings.Contains(buf.String(), "0/0 (0.0%)") {
+		t.Fatalf("zero-total line = %q", buf.String())
+	}
+}
+
+// TestProgressConcurrent exercises the callback from many goroutines
+// under the race detector.
+func TestProgressConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	w := writerFunc(func(b []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(b)
+	})
+	p := NewProgress(w, "x")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p(g*50+i, 400)
+			}
+		}()
+	}
+	wg.Wait()
+	p(400, 400)
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(buf.String(), "400/400") {
+		t.Fatalf("final line missing: %q", buf.String())
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(b []byte) (int, error) { return f(b) }

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/flit"
+)
+
+// EngineTrace is the flight recorder for the single-server engine
+// (the Section 5 experiments): spans are inject -> departure against
+// one output, so each wired engine run becomes one "hop" track. Wire
+// chains onto an engine.Config's OnInject/OnDeparture callbacks the
+// same way obs.Collector does, so it composes with collectors and the
+// experiment observers.
+//
+// One EngineTrace may be wired into many engine runs (an experiment
+// sweep); each Wire call allocates the next track id. Runs executed
+// concurrently by the exec pool interleave appends, so the ring is
+// mutex-guarded here — and consequently the record order (and track
+// numbering) follows job completion order, which is only reproducible
+// for serial sweeps. Exports sort by (cycle, kind, track), so equal
+// schedules produce equal bytes.
+type EngineTrace struct {
+	mu     sync.Mutex
+	s      Sampler
+	ring   ring
+	drops  int64
+	tracks int32
+}
+
+// NewEngineTrace returns an engine flight recorder sampling one in
+// every packets (1 = all) into a ring of ringCap records.
+func NewEngineTrace(seed uint64, every, ringCap int) *EngineTrace {
+	et := &EngineTrace{s: NewSampler(seed, every)}
+	if ringCap <= 0 {
+		ringCap = 16384
+	}
+	et.ring.init(ringCap, func() { et.drops++ })
+	return et
+}
+
+// Dropped returns how many records were lost to ring overwrites.
+func (et *EngineTrace) Dropped() int64 {
+	et.mu.Lock()
+	defer et.mu.Unlock()
+	return et.drops
+}
+
+// Wire chains the recorder onto an engine config's OnInject and
+// OnDeparture callback slots (passed by pointer, so trace does not
+// import engine — core imports trace, and engine's tests import core)
+// and assigns the run the next track id (rendered as the record's
+// Router field).
+func (et *EngineTrace) Wire(onInject *func(flit.Packet, int64), onDeparture *func(flit.Packet, int64, int64)) {
+	et.mu.Lock()
+	track := et.tracks
+	et.tracks++
+	et.mu.Unlock()
+
+	prevInj := *onInject
+	*onInject = func(p flit.Packet, cycle int64) {
+		if et.s.Sample(p.ID) {
+			et.mu.Lock()
+			et.ring.append(Record{
+				Kind: KindInject, Router: track, Flow: int32(p.Flow),
+				Len: int32(p.Length), Dst: int32(p.Dst), PktID: p.ID, Cycle: cycle,
+			})
+			et.mu.Unlock()
+		}
+		if prevInj != nil {
+			prevInj(p, cycle)
+		}
+	}
+	prevDep := *onDeparture
+	*onDeparture = func(p flit.Packet, cycle, occupancy int64) {
+		if et.s.Sample(p.ID) {
+			et.mu.Lock()
+			et.ring.append(Record{
+				Kind: KindHop, Router: track, Flow: int32(p.Flow),
+				Len: int32(p.Length), Dst: int32(p.Dst), PktID: p.ID,
+				Cycle: cycle, Arrive: p.Arrival, Eligible: p.Arrival,
+				// The output was granted occupancy cycles before the
+				// tail departed; stall cycles beyond the length are
+				// downstream starvation, the engine's credit analogue.
+				Grant:   cycle - occupancy + 1,
+				CrdWait: int32(occupancy - int64(p.Length)),
+			})
+			et.mu.Unlock()
+		}
+		if prevDep != nil {
+			prevDep(p, cycle, occupancy)
+		}
+	}
+}
+
+// Records returns the buffered records sorted by (cycle, kind,
+// track), each track's internal order preserved.
+func (et *EngineTrace) Records() []Record {
+	et.mu.Lock()
+	defer et.mu.Unlock()
+	out := make([]Record, 0, et.ring.len())
+	et.ring.each(func(r Record) { out = append(out, r) })
+	sortRecords(out)
+	return out
+}

@@ -1,0 +1,50 @@
+package trace
+
+// ring is a fixed-capacity record buffer that overwrites its oldest
+// entry when full, reporting overwrites through a drop hook. The
+// capacity is allocated once; append never allocates, which keeps the
+// recorder out of the simulation's steady-state allocation budget.
+type ring struct {
+	buf    []Record
+	start  int
+	size   int
+	onDrop func()
+}
+
+func (r *ring) init(capacity int, onDrop func()) {
+	r.buf = make([]Record, capacity)
+	r.onDrop = onDrop
+}
+
+func (r *ring) len() int { return r.size }
+
+func (r *ring) append(rec Record) {
+	if r.size == len(r.buf) {
+		// Overwrite the oldest: keep the most recent window, which is
+		// what a flight recorder is for.
+		r.start++
+		if r.start == len(r.buf) {
+			r.start = 0
+		}
+		r.size--
+		r.onDrop()
+	}
+	i := r.start + r.size
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = rec
+	r.size++
+}
+
+// each visits the buffered records oldest-first without consuming
+// them.
+func (r *ring) each(fn func(Record)) {
+	for k := 0; k < r.size; k++ {
+		i := r.start + k
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		fn(r.buf[i])
+	}
+}

@@ -1,0 +1,28 @@
+package trace
+
+import "testing"
+
+// TestRingOverwritesOldest pins the ring's flight-recorder semantics:
+// append never fails, a full ring overwrites its oldest record, every
+// overwrite fires the drop hook, and iteration is non-destructive.
+func TestRingOverwritesOldest(t *testing.T) {
+	drops := 0
+	var r ring
+	r.init(3, func() { drops++ })
+	for i := int64(0); i < 5; i++ {
+		r.append(Record{PktID: i})
+	}
+	if drops != 2 {
+		t.Fatalf("drops = %d, want 2", drops)
+	}
+	if r.len() != 3 {
+		t.Fatalf("len = %d, want 3", r.len())
+	}
+	for pass := 0; pass < 2; pass++ {
+		var ids []int64
+		r.each(func(rec Record) { ids = append(ids, rec.PktID) })
+		if len(ids) != 3 || ids[0] != 2 || ids[1] != 3 || ids[2] != 4 {
+			t.Fatalf("pass %d: surviving ids = %v, want [2 3 4]", pass, ids)
+		}
+	}
+}

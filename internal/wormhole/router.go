@@ -95,8 +95,10 @@ type Endpoint interface {
 }
 
 // creditReturn is invoked by a router when a flit leaves an input
-// FIFO, so the upstream sender regains a credit.
-type creditReturn func(vc int)
+// FIFO, so the upstream sender regains a credit. The cycle is the
+// commit cycle of the flit movement that freed the slot (flight-
+// recorder tracers use it to close credit-starvation intervals).
+type creditReturn func(vc int, cycle int64)
 
 // OutputFault models a faulty output link for fault-injection
 // campaigns (package fault implements it from a parsed spec). The
@@ -165,7 +167,11 @@ type Config struct {
 // not — but the lazy form costs nothing per cycle, which is what
 // lets the router skip allocated-but-blocked outputs entirely.
 type lock struct {
-	active   bool
+	active bool
+	// traced marks a lock the installed Tracer elected to follow at
+	// grant time; all per-visit tracer calls are gated on it, so
+	// unsampled packets cost the forwarding loop nothing.
+	traced   bool
 	port, vc int // input port and VC the packet occupies
 	outVC    int // VC the packet uses on the output link
 	flow     int
@@ -283,6 +289,12 @@ type Router struct {
 	// drains that input VC (-1 when none), so a flit arriving into an
 	// empty locked FIFO re-enqueues the right output.
 	inLockOut []int32
+	// inTraced mirrors lock.traced per input (port, VC): set at grant
+	// for the lock draining that input, cleared at release. It lets
+	// the commit-phase paths that know only the input (flit arrival
+	// into an empty locked FIFO) skip the tracer call for unsampled
+	// worms without chasing the lock cell.
+	inTraced []bool
 	// usedList records which usedInput entries were set this cycle, so
 	// the reset is proportional to forwards, not ports.
 	usedList []int
@@ -297,6 +309,11 @@ type Router struct {
 	// lastCycle is the most recent cycle passed to Compute (DumpState
 	// uses it to render lazy occupancies).
 	lastCycle int64
+
+	// tr, when non-nil, observes packet lifecycle events for the
+	// flight recorder (see Tracer). Calls on the per-visit paths are
+	// gated on lock.traced so unsampled traffic pays one nil-check.
+	tr Tracer
 
 	// scratch is Step's private effect buffer, reused across cycles.
 	scratch Effects
@@ -349,6 +366,7 @@ func NewRouter(id int, cfg Config) (*Router, error) {
 		grantable:  queue.NewBitset(cfg.Ports * cfg.VCs),
 		outs:       make([]outHot, cfg.Ports),
 		inLockOut:  make([]int32, cfg.Ports*cfg.VCs),
+		inTraced:   make([]bool, cfg.Ports*cfg.VCs),
 
 		gateSnapCycle: -1,
 	}
@@ -391,7 +409,7 @@ func Connect(a *Router, po int, b *Router, pi int) {
 	for v := 0; v < a.cfg.VCs; v++ {
 		a.crd[po*a.cfg.VCs+v] = b.cfg.BufFlits
 	}
-	b.credUp[pi] = func(vc int) { a.creditArrived(po, vc) }
+	b.credUp[pi] = func(vc int, cycle int64) { a.creditArrived(po, vc, cycle) }
 	b.credUpR[pi] = a
 	b.credUpPort[pi] = po
 }
@@ -401,9 +419,14 @@ func Connect(a *Router, po int, b *Router, pi int) {
 // rejoins the pending work-list. Credits are returned during the
 // serial commit phase (Effects.Apply), never during Compute, so the
 // onActive hook may safely touch the mesh's active set.
-func (r *Router) creditArrived(o, v int) {
+func (r *Router) creditArrived(o, v int, cycle int64) {
 	r.crd[o*r.cfg.VCs+v]++
 	if r.outs[o].lockVCs&(1<<uint(v)) != 0 {
+		if l := &r.locks[o*r.cfg.VCs+v]; l.traced {
+			// A traced lock waiting on this credit: close its
+			// credit-starvation interval (a no-op if none is open).
+			r.tr.Unblocked(l.port, l.vc, BlockNoCredit, cycle)
+		}
 		r.pendingOut.Set(o)
 		if r.onActive != nil && !r.activeHint {
 			r.activeHint = true
@@ -455,14 +478,22 @@ func (r *Router) acceptFlit(port int, f flit.Flit, vc int, cycle int64) {
 	wasEmpty := pb.empty(vc)
 	pb.push(vc, f, cycle)
 	r.work++
+	if f.Traced && r.tr != nil && (f.Kind == flit.Head || f.Kind == flit.HeadTail) {
+		r.tr.HeadArrived(port, vc, f, cycle)
+	}
 	if wasEmpty {
 		if o := r.inLockOut[port*r.cfg.VCs+vc]; o >= 0 {
 			// The arriving flit continues the worm holding output o: a
 			// lock releases only after its tail passed, and FIFO order
 			// means no new head can arrive before that tail.
+			if r.inTraced[port*r.cfg.VCs+vc] {
+				// The worm was starved on input; close any open
+				// input-empty interval on its traced lock.
+				r.tr.Unblocked(port, vc, BlockInputEmpty, cycle)
+			}
 			r.pendingOut.Set(int(o))
 		} else {
-			r.announceHead(port, vc, f)
+			r.announceHead(port, vc, f, cycle)
 		}
 	}
 	if r.onActive != nil && !r.activeHint && r.Runnable() {
@@ -509,18 +540,18 @@ func (r *Router) headTarget(port, vc int, h flit.Flit) (o, ov int) {
 // announce registers the packet at the head of (port, vc) with the
 // arbiter of its routed output queue, if it is an unannounced head
 // flit.
-func (r *Router) announce(port, vc int) {
+func (r *Router) announce(port, vc int, cycle int64) {
 	pb := &r.in[port]
 	if pb.fifos[vc].notif || pb.empty(vc) {
 		return
 	}
-	r.announceHead(port, vc, pb.peek(vc).f)
+	r.announceHead(port, vc, pb.peek(vc).f, cycle)
 }
 
 // announceHead is announce when the caller already holds the head
 // flit of (port, vc) — acceptFlit passes the flit it just pushed into
 // an empty FIFO, skipping the peek the generic path pays.
-func (r *Router) announceHead(port, vc int, h flit.Flit) {
+func (r *Router) announceHead(port, vc int, h flit.Flit, cycle int64) {
 	if h.Kind != flit.Head && h.Kind != flit.HeadTail {
 		// Mid-packet flit: the packet was announced when its head
 		// arrived (or is currently locked); nothing to do.
@@ -536,6 +567,9 @@ func (r *Router) announceHead(port, vc int, h flit.Flit) {
 	r.arbs[cell].OnArrival(flow, true)
 	r.eligible[cell]++
 	pb.fifos[vc].notif = true
+	if h.Traced && r.tr != nil {
+		r.tr.HeadEligible(port, vc, h.PktID, cycle)
+	}
 	if !r.locks[cell].active {
 		r.grantable.Set(cell)
 	}
@@ -721,10 +755,11 @@ type delivery struct {
 // upstream router directly, ret is the closure fallback (StallSink and
 // other non-router binders).
 type creditFx struct {
-	r   *Router
-	ret creditReturn
-	o   int
-	vc  int
+	r     *Router
+	ret   creditReturn
+	o     int
+	vc    int
+	cycle int64
 }
 
 // Reset empties the buffer for reuse, retaining capacity.
@@ -751,9 +786,9 @@ func (fx *Effects) Apply() {
 	for i := range fx.credits {
 		c := &fx.credits[i]
 		if c.r != nil {
-			c.r.creditArrived(c.o, c.vc)
+			c.r.creditArrived(c.o, c.vc, c.cycle)
 		} else {
-			c.ret(c.vc)
+			c.ret(c.vc, c.cycle)
 		}
 	}
 }
@@ -953,13 +988,22 @@ func (r *Router) tryForward(o int, cycle int64, fx *Effects) (quiesce bool) {
 			r.cellsVisited++
 			pb := &r.in[l.port]
 			if pb.occVC&(1<<uint(l.vc)) == 0 {
+				if l.traced {
+					r.tr.Blocked(l.port, l.vc, BlockInputEmpty, cycle)
+				}
 				continue // hard: acceptFlit re-enqueues via inLockOut
 			}
 			if r.usedInput[l.port] {
+				if l.traced {
+					r.tr.Blocked(l.port, l.vc, BlockContend, cycle)
+				}
 				quiesce = false // transient: retry next cycle
 				continue
 			}
 			if pb.peekArrived(l.vc) >= cycle {
+				if l.traced {
+					r.tr.Blocked(l.port, l.vc, BlockArrival, cycle)
+				}
 				quiesce = false // transient: forwardable next cycle
 				continue
 			}
@@ -967,9 +1011,15 @@ func (r *Router) tryForward(o int, cycle int64, fx *Effects) (quiesce bool) {
 			// per-VC credits otherwise.
 			if gated {
 				if !r.gateAllows(o, v, cycle) {
+					if l.traced {
+						r.tr.Blocked(l.port, l.vc, BlockNoSpace, cycle)
+					}
 					continue
 				}
 			} else if crd[v] <= 0 {
+				if l.traced {
+					r.tr.Blocked(l.port, l.vc, BlockNoCredit, cycle)
+				}
 				continue // hard: creditArrived re-enqueues
 			}
 			f := pb.popFlit(l.vc)
@@ -980,9 +1030,9 @@ func (r *Router) tryForward(o int, cycle int64, fx *Effects) (quiesce bool) {
 				crd[v]--
 			}
 			if ur := r.credUpR[l.port]; ur != nil {
-				fx.credits = append(fx.credits, creditFx{r: ur, o: r.credUpPort[l.port], vc: l.vc})
+				fx.credits = append(fx.credits, creditFx{r: ur, o: r.credUpPort[l.port], vc: l.vc, cycle: cycle})
 			} else if ret := r.credUp[l.port]; ret != nil {
-				fx.credits = append(fx.credits, creditFx{ret: ret, vc: l.vc})
+				fx.credits = append(fx.credits, creditFx{ret: ret, vc: l.vc, cycle: cycle})
 			}
 			if fault != nil && fault.Drop(f, cycle) {
 				// Lost in transit: the link cycle and the downstream
@@ -1011,6 +1061,9 @@ func (r *Router) tryForward(o int, cycle int64, fx *Effects) (quiesce bool) {
 				}
 			}
 			if f.Kind == flit.Tail || f.Kind == flit.HeadTail {
+				if l.traced {
+					r.tr.Departed(l.port, l.vc, o, v, f, cycle)
+				}
 				r.completePacket(o, v, cycle)
 			}
 			oh.linkRR = int32((v + 1) % V)
@@ -1041,6 +1094,12 @@ func (r *Router) grantCell(o, v int, cycle int64) {
 		panic("wormhole: arbiter granted a flow with no buffered head flit")
 	}
 	r.locks[cell] = lock{active: true, port: port, vc: vc, outVC: v, flow: flow, since: cycle}
+	if r.tr != nil {
+		if h := r.in[port].peek(vc).f; h.Traced {
+			r.locks[cell].traced = r.tr.Granted(port, vc, o, v, h.PktID, cycle)
+			r.inTraced[port*V+vc] = r.locks[cell].traced
+		}
+	}
 	r.outs[o].lockCount++
 	r.outs[o].lockVCs |= 1 << uint(v)
 	r.inLockOut[port*V+vc] = int32(o)
@@ -1062,6 +1121,7 @@ func (r *Router) completePacket(o, v int, cycle int64) {
 	r.outs[o].lockCount--
 	r.outs[o].lockVCs &^= 1 << uint(v)
 	r.inLockOut[port*r.cfg.VCs+vc] = -1
+	r.inTraced[port*r.cfg.VCs+vc] = false
 	r.work--
 	pb := &r.in[port]
 	pb.fifos[vc].notif = false
@@ -1075,6 +1135,11 @@ func (r *Router) completePacket(o, v int, cycle int64) {
 			if o2, ov2 := r.headTarget(port, vc, h); o2 == o && ov2 == v {
 				nowEmpty = false
 				pb.fifos[vc].notif = true
+				if h.Traced && r.tr != nil {
+					// Re-announced in place: the next head competes
+					// for the same output queue from this cycle on.
+					r.tr.HeadEligible(port, vc, h.PktID, cycle)
+				}
 			}
 		}
 	}
@@ -1084,7 +1149,7 @@ func (r *Router) completePacket(o, v int, cycle int64) {
 	} else {
 		// The next packet (if any, and once its head flit is here) may
 		// target a different output queue.
-		r.announce(port, vc)
+		r.announce(port, vc, cycle)
 	}
 	// The queue just went idle; if any flow is (still, or newly via
 	// announce) eligible for it, the cell is grantable this cycle.
@@ -1168,7 +1233,7 @@ func (s *StallSink) Buffered() int { return len(s.buffered) }
 // Bind attaches the sink to the router output feeding it so drained
 // flits return credits. Call after ConnectEndpoint.
 func (s *StallSink) Bind(r *Router, po int) {
-	s.credUp = func(vc int) { r.creditArrived(po, vc) }
+	s.credUp = func(vc int, cycle int64) { r.creditArrived(po, vc, cycle) }
 }
 
 // Step drains at most one flit if the drain pattern allows.
@@ -1180,7 +1245,7 @@ func (s *StallSink) Step(cycle int64) {
 	s.buffered = s.buffered[1:]
 	s.vcs = s.vcs[1:]
 	if s.credUp != nil {
-		s.credUp(vc)
+		s.credUp(vc, cycle)
 	}
 	s.Inner.AcceptFlit(f, vc, cycle)
 }

@@ -1,0 +1,78 @@
+package wormhole
+
+import "repro/internal/flit"
+
+// BlockReason classifies why a granted packet (an active output-queue
+// lock) could not forward a flit at a visit, for flight-recorder
+// latency decomposition. The two hard reasons (InputEmpty, NoCredit)
+// quiesce the output until an instrumented event and are therefore
+// reported as intervals — Blocked when the interval opens, Unblocked
+// when the closing event commits. The soft reasons are reported once
+// per blocked visit; soft visits happen identically in every stepping
+// mode because a soft-blocked output stays on the pending work-list,
+// so the router is stepped at those cycles whether the owner advances
+// cycle by cycle or event to event.
+type BlockReason uint8
+
+const (
+	// BlockContend: lost the output link's flit-level round-robin to
+	// another VC this cycle, or another output already moved a flit
+	// from the same input port (one read per input port per cycle).
+	BlockContend BlockReason = iota
+	// BlockArrival: the next flit is buffered but arrived this cycle
+	// (one hop per cycle).
+	BlockArrival
+	// BlockNoSpace: the downstream shared-buffer gate refused the VC
+	// (stop/go links poll, so this is a soft per-visit report).
+	BlockNoSpace
+	// BlockInputEmpty: the worm is starved upstream — the input FIFO
+	// holds no flit. Interval: closed by the next flit arrival.
+	BlockInputEmpty
+	// BlockNoCredit: downstream credits are exhausted. Interval:
+	// closed by the next credit return.
+	BlockNoCredit
+)
+
+// Tracer observes the lifecycle of packets traversing a Router, at
+// the exact points the router mutates its own state. All calls happen
+// either inside Compute (Granted, Blocked, Departed — single-threaded
+// per router) or inside the serial commit phase (HeadArrived,
+// HeadEligible, the Unblocked closers), never concurrently for one
+// router, so implementations need no locking.
+//
+// Granted returns whether the tracer is following the granted packet;
+// the router caches the answer on the lock and skips every subsequent
+// call for untraced packets, so a sampling tracer costs the hot loop
+// nothing for the packets it ignores.
+type Tracer interface {
+	// HeadArrived reports a head (or head+tail) flit buffered into
+	// input (port, vc) at cycle — the packet's queue-entry instant at
+	// this hop. The router filters non-head flits before calling.
+	HeadArrived(port, vc int, h flit.Flit, cycle int64)
+	// HeadEligible reports that the packet at the head of (port, vc)
+	// was announced to its output arbiter at cycle (it now competes
+	// for a grant).
+	HeadEligible(port, vc int, pktID, cycle int64)
+	// Granted reports that the head packet of (port, vc) won
+	// arbitration for output queue (outPort, outVC) at cycle. The
+	// return value elects the packet for further tracing.
+	Granted(port, vc, outPort, outVC int, pktID, cycle int64) bool
+	// Blocked reports a traced lock on input (port, vc) unable to
+	// forward at a visited cycle, and why.
+	Blocked(port, vc int, reason BlockReason, cycle int64)
+	// Unblocked closes a hard Blocked interval: the event that ends
+	// reason (a flit arrival for BlockInputEmpty, a credit return for
+	// BlockNoCredit) committed at cycle. The router calls it on every
+	// candidate closing event; implementations match it against the
+	// open interval, if any.
+	Unblocked(port, vc int, reason BlockReason, cycle int64)
+	// Departed reports the traced packet's tail flit leaving through
+	// (outPort, outVC) at cycle — the hop is complete and the lock
+	// released.
+	Departed(inPort, inVC, outPort, outVC int, tail flit.Flit, cycle int64)
+}
+
+// SetTracer installs (or with nil removes) a flight-recorder tracer.
+// Install before traffic flows: packets granted while no tracer was
+// installed are never traced.
+func (r *Router) SetTracer(t Tracer) { r.tr = t }
