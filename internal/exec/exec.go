@@ -8,13 +8,16 @@
 // executing the same jobs serially, the guarantee the experiments'
 // determinism tests pin.
 //
-// The pool is intentionally minimal: no context plumbing, no
-// cancellation of a job mid-flight (a simulation job is CPU-bound and
-// finishes in bounded time), and a deterministic error contract so
-// that even failures reproduce run to run.
+// The pool is intentionally minimal: no cancellation of a job
+// mid-flight (a simulation job is CPU-bound and finishes in bounded
+// time), and a deterministic error contract so that even failures
+// reproduce run to run. WithContext adds the one cancellation point
+// that matters operationally — retry backoff sleeps and attempt
+// starts — without preempting running jobs.
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -55,6 +58,7 @@ type options struct {
 	sleep    func(time.Duration)
 	timeout  time.Duration
 	cp       *Checkpoint
+	ctx      context.Context
 }
 
 // WithProgress reports each job completion to p. It exists for the
@@ -88,6 +92,19 @@ func WithRetry(retries int, backoff time.Duration) Option {
 // wedged job fails the sweep cleanly instead of hanging it forever.
 func WithTimeout(d time.Duration) Option {
 	return func(o *options) { o.timeout = d }
+}
+
+// WithContext makes retry backoff sleeps and attempt starts
+// cancellable: when ctx is done, the pending backoff is abandoned
+// immediately and the job fails with ctx.Err(). A sweep stuck in a
+// long exponential backoff (a dying disk retried with minutes-long
+// sleeps) then responds to shutdown promptly instead of sleeping out
+// its schedule. Cancellation does not preempt a job attempt already
+// running — the same non-preemption rule as WithTimeout — and a
+// canceled run keeps the deterministic lowest-failing-index error
+// contract, with ctx.Err() as the failing job's error.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
 }
 
 // WithCheckpoint records every completed job's result to cp as one

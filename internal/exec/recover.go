@@ -79,14 +79,43 @@ func callJob[T any](o *options, i int, job Job[T]) (T, error) {
 
 // runJob runs one job through the full resilience pipeline: panic
 // recovery, timeout, and bounded retry with exponential backoff.
+// With WithContext, cancellation is honored before each attempt and
+// during backoff sleeps; the uncancellable o.sleep seam is kept for
+// the context-free path so tests can fake time there.
 func runJob[T any](o *options, i int, job Job[T]) (T, error) {
 	for attempt := 0; ; attempt++ {
+		if o.ctx != nil {
+			if err := o.ctx.Err(); err != nil {
+				var zero T
+				return zero, err
+			}
+		}
 		r, err := callJob(o, i, job)
 		if err == nil || attempt >= o.retries {
 			return r, err
 		}
 		if o.backoff > 0 {
-			o.sleep(o.backoff << uint(attempt))
+			if err := sleepBackoff(o, o.backoff<<uint(attempt)); err != nil {
+				var zero T
+				return zero, err
+			}
 		}
+	}
+}
+
+// sleepBackoff waits out one backoff period, returning early with the
+// context's error when a WithContext context is canceled mid-sleep.
+func sleepBackoff(o *options, d time.Duration) error {
+	if o.ctx == nil {
+		o.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-o.ctx.Done():
+		return o.ctx.Err()
 	}
 }

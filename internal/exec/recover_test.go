@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -154,5 +155,90 @@ func TestWithTimeoutFastJobsPass(t *testing.T) {
 		if v != i {
 			t.Fatalf("result[%d] = %d, want %d", i, v, i)
 		}
+	}
+}
+
+// TestWithContextCancelMidBackoff is the shutdown-responsiveness
+// test: a job stuck in a long retry backoff must abandon the sleep
+// the moment the context is canceled, instead of sleeping out its
+// schedule.
+func TestWithContextCancelMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("transient")
+	var attempts atomic.Int64
+	jobs := []Job[int]{func() (int, error) {
+		attempts.Add(1)
+		return 0, boom
+	}}
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// 10s backoff: without cancellation this Run would take ~70s
+		// (10+20+40) before failing.
+		_, err := Run(jobs, 1, WithRetry(3, 10*time.Second), WithContext(ctx))
+		done <- err
+	}()
+	// Let the first attempt fail and the backoff start, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return promptly after cancellation mid-backoff")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v, want well under the 10s backoff", el)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("job ran %d times, want 1 (canceled during the first backoff)", n)
+	}
+}
+
+// TestWithContextPreCanceled: an already-canceled context fails jobs
+// before their first attempt.
+func TestWithContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	jobs := []Job[int]{func() (int, error) { ran.Add(1); return 1, nil }}
+	_, err := Run(jobs, 1, WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("job ran despite pre-canceled context")
+	}
+}
+
+// TestWithContextNilKeepsSleepSeam: without WithContext the retry
+// path must keep using the injected sleep (no real timers), pinning
+// that existing fake-time tests stay valid.
+func TestWithContextNilKeepsSleepSeam(t *testing.T) {
+	boom := errors.New("transient")
+	calls := 0
+	var slept []time.Duration
+	o := options{
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+		retries: 2,
+		backoff: time.Minute,
+	}
+	_, err := runJob(&o, 0, Job[int](func() (int, error) {
+		calls++
+		return 0, boom
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("runJob error = %v, want the job error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("job ran %d times, want 3", calls)
+	}
+	want := []time.Duration{time.Minute, 2 * time.Minute}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("sleeps %v, want %v", slept, want)
 	}
 }

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Service-side fault injection: the chaos the live-service front end
+// (internal/serve, cmd/errserve) must survive. Two directive families
+// extend the spec grammar:
+//
+// Handler faults, applied by the server around the application
+// handler (keys: p, ms, tenant; tenant="" matches every tenant):
+//
+//	slow(p=X, ms=D, tenant=T)
+//	    Each of tenant T's requests is delayed D extra milliseconds
+//	    with probability X — a degraded dependency.
+//	stuck(p=X, ms=D, tenant=T)
+//	    Each of tenant T's requests hangs D milliseconds with
+//	    probability X — a wedged handler holding a worker slot
+//	    hostage. Identical mechanics to slow; kept distinct so runs
+//	    can report "slowness" and "wedges" separately and pick very
+//	    different durations for each.
+//
+// Load-generator directives, consumed by the loadgen/selfdrive
+// harness rather than the server (at/dur are milliseconds of run
+// time here, not cycles):
+//
+//	burst(tenant=T, rps=R, at=S, dur=D)
+//	    Tenant T storms at R requests/second during [at, at+dur) ms.
+//	flood(tenant=T, rps=R)
+//	    Tenant T floods at R requests/second for the whole run — the
+//	    one-key request flood.
+//
+// As everywhere in this package, every probabilistic decision draws
+// from an rng stream derived from the experiment seed and a per-event
+// sequence number, so a chaos run's fault pattern is a pure function
+// of (seed, event order).
+const (
+	streamSlow uint64 = 0xfa11 + iota
+	streamStuck
+)
+
+// ServeCounters tallies what a ServeInjector actually did.
+type ServeCounters struct {
+	// Slowed is the number of requests delayed by slow directives.
+	Slowed int64 `json:"slowed,omitempty"`
+	// Stuck is the number of requests hung by stuck directives.
+	Stuck int64 `json:"stuck,omitempty"`
+}
+
+// ServeInjector realises the handler-fault directives of a parsed
+// Spec for a live server. A nil *ServeInjector injects nothing, so
+// call sites need no fault/no-fault branching. Delay is safe for
+// concurrent use (handlers run on many goroutines).
+type ServeInjector struct {
+	spec *Spec
+	seed uint64
+	seq  atomic.Uint64
+
+	slowed atomic.Int64
+	stuck  atomic.Int64
+}
+
+// NewServe returns a service-side injector for the spec, or nil when
+// the spec is nil (no faults).
+func NewServe(spec *Spec, seed uint64) *ServeInjector {
+	if spec == nil {
+		return nil
+	}
+	return &ServeInjector{spec: spec, seed: seed}
+}
+
+// Delay returns the extra handler latency to impose on the next
+// request of the given tenant: the sum of every slow/stuck directive
+// that matches the tenant and fires its probability draw. Each call
+// consumes one event sequence number, so the fault pattern is
+// deterministic in (seed, call order) regardless of which goroutine
+// asks.
+func (in *ServeInjector) Delay(tenant string) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var d time.Duration
+	var seq uint64
+	for i, dir := range in.spec.Directives {
+		var stream uint64
+		var hits *atomic.Int64
+		switch dir.Kind {
+		case "slow":
+			stream, hits = streamSlow, &in.slowed
+		case "stuck":
+			stream, hits = streamStuck, &in.stuck
+		default:
+			continue
+		}
+		if dir.Tenant != "" && dir.Tenant != tenant {
+			continue
+		}
+		if seq == 0 {
+			seq = in.seq.Add(1)
+		}
+		// The directive index joins the derivation so two directives of
+		// the same kind draw independently for the same event.
+		if rng.New(rng.Derive(in.seed, stream, uint64(i), seq)).Bernoulli(dir.P) {
+			hits.Add(1)
+			d += time.Duration(dir.MS) * time.Millisecond
+		}
+	}
+	return d
+}
+
+// ServeCounters returns a snapshot of what the injector has done so
+// far. Zero value on a nil injector.
+func (in *ServeInjector) ServeCounters() ServeCounters {
+	if in == nil {
+		return ServeCounters{}
+	}
+	return ServeCounters{
+		Slowed: in.slowed.Load(),
+		Stuck:  in.stuck.Load(),
+	}
+}
+
+// Load is one load-generator directive: tenant T sends at RPS
+// requests/second during [AtMS, AtMS+DurMS) milliseconds of run time
+// (DurMS 0 = the whole run).
+type Load struct {
+	Tenant string
+	RPS    float64
+	AtMS   int64
+	DurMS  int64
+}
+
+// Loads extracts the burst/flood directives of a spec for a load
+// generator. Nil-safe; order follows the spec.
+func (s *Spec) Loads() []Load {
+	if s == nil {
+		return nil
+	}
+	var out []Load
+	for _, d := range s.Directives {
+		switch d.Kind {
+		case "burst":
+			out = append(out, Load{Tenant: d.Tenant, RPS: d.RPS, AtMS: d.At, DurMS: d.Dur})
+		case "flood":
+			out = append(out, Load{Tenant: d.Tenant, RPS: d.RPS})
+		}
+	}
+	return out
+}

@@ -39,6 +39,12 @@
 //	    flits), "badflow" (unroutable flow id), "notail" (flit stream
 //	    ends without a tail), "duphead" (a second head mid-packet).
 //	    Injection points must reject or survive them.
+//	slow(p=X, ms=D, tenant=T) / stuck(p=X, ms=D, tenant=T)
+//	    Service-side handler faults for the live front end (the
+//	    -faults flag of cmd/errserve): see serve.go.
+//	burst(tenant=T, rps=R, at=S, dur=D) / flood(tenant=T, rps=R)
+//	    Load-generator directives for adversarial tenants: see
+//	    serve.go. In serve mode at/dur are milliseconds of run time.
 //
 // All randomness is drawn from streams derived with rng.Derive from
 // the experiment seed, so a faulted run is exactly as repeatable as a
@@ -59,9 +65,15 @@ const (
 	MalformedDupHead = "duphead"
 )
 
+// Kinds is the list of valid directive kinds, in grammar order.
+var Kinds = []string{
+	"stall", "freeze", "drop", "corrupt", "malformed",
+	"slow", "stuck", "burst", "flood",
+}
+
 // Directive is one parsed fault directive.
 type Directive struct {
-	// Kind is "stall", "freeze", "drop", "corrupt" or "malformed".
+	// Kind is one of Kinds.
 	Kind string
 	// Flow restricts an engine-mode stall to one flow (-1 = all).
 	Flow int
@@ -73,10 +85,18 @@ type Directive struct {
 	At int64
 	// Dur is the window length in cycles; 0 means permanent.
 	Dur int64
-	// P is the per-event probability of drop/corrupt/malformed.
+	// P is the per-event probability of drop/corrupt/malformed and of
+	// the service-side slow/stuck handler faults.
 	P float64
 	// MKind is the malformed-packet kind.
 	MKind string
+	// Tenant restricts a service-side directive to one tenant key
+	// ("" = all tenants for slow/stuck; required for burst/flood).
+	Tenant string
+	// MS is the handler delay of a slow/stuck directive, milliseconds.
+	MS int64
+	// RPS is the request rate of a burst/flood directive.
+	RPS float64
 }
 
 // active reports whether a windowed directive is live at cycle.
@@ -126,10 +146,16 @@ func parseDirective(raw string) (Directive, error) {
 		return d, fmt.Errorf("fault: directive %q is not kind(key=value,...)", raw)
 	}
 	d.Kind = strings.TrimSpace(raw[:open])
-	switch d.Kind {
-	case "stall", "freeze", "drop", "corrupt", "malformed":
-	default:
-		return d, fmt.Errorf("fault: unknown directive kind %q", d.Kind)
+	valid := false
+	for _, k := range Kinds {
+		if d.Kind == k {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return d, fmt.Errorf("fault: unknown directive kind %q (valid kinds: %s)",
+			d.Kind, strings.Join(Kinds, ", "))
 	}
 	body := raw[open+1 : len(raw)-1]
 	for _, kv := range strings.Split(body, ",") {
@@ -166,6 +192,12 @@ func parseDirective(raw string) (Directive, error) {
 			default:
 				err = fmt.Errorf("unknown malformed kind %q", val)
 			}
+		case "tenant":
+			d.Tenant = val
+		case "ms":
+			d.MS, err = strconv.ParseInt(val, 10, 64)
+		case "rps":
+			d.RPS, err = strconv.ParseFloat(val, 64)
 		default:
 			err = fmt.Errorf("unknown key")
 		}
@@ -181,6 +213,23 @@ func parseDirective(raw string) (Directive, error) {
 	case "stall", "freeze":
 		if d.At < 0 || d.Dur < 0 {
 			return d, fmt.Errorf("fault: %s window must have at >= 0, dur >= 0", d.Kind)
+		}
+	case "slow", "stuck":
+		if d.P <= 0 {
+			return d, fmt.Errorf("fault: %s requires p > 0", d.Kind)
+		}
+		if d.MS <= 0 {
+			return d, fmt.Errorf("fault: %s requires ms > 0", d.Kind)
+		}
+	case "burst", "flood":
+		if d.Tenant == "" {
+			return d, fmt.Errorf("fault: %s requires tenant=...", d.Kind)
+		}
+		if d.RPS <= 0 {
+			return d, fmt.Errorf("fault: %s requires rps > 0", d.Kind)
+		}
+		if d.Kind == "burst" && (d.At < 0 || d.Dur <= 0) {
+			return d, fmt.Errorf("fault: burst window must have at >= 0, dur > 0")
 		}
 	}
 	return d, nil

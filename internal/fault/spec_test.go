@@ -96,3 +96,89 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestParseUnknownKindListsValidKinds pins the unknown-kind error
+// message: it must name the rejected kind and enumerate every valid
+// kind, so a typo in a -faults flag is self-correcting from the error
+// alone.
+func TestParseUnknownKindListsValidKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind string // the rejected kind the message must quote
+	}{
+		{"bogus(p=1)", "bogus"},
+		{"slows(p=1,ms=2)", "slows"},       // near-miss of a valid kind
+		{"STALL(at=1)", "STALL"},           // kinds are case-sensitive
+		{"drop(p=0.1);typo(x=1)", "typo"},  // error points at the bad directive
+		{" flod (tenant=a,rps=1)", "flod"}, // whitespace-trimmed kind
+	}
+	for _, c := range cases {
+		_, err := fault.Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want unknown-kind error", c.src)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `unknown directive kind "`+c.kind+`"`) {
+			t.Errorf("Parse(%q) error %q does not quote kind %q", c.src, msg, c.kind)
+		}
+		// The full valid-kind list must appear, in grammar order.
+		wantList := "valid kinds: " + strings.Join(fault.Kinds, ", ")
+		if !strings.Contains(msg, wantList) {
+			t.Errorf("Parse(%q) error %q missing %q", c.src, msg, wantList)
+		}
+		for _, k := range fault.Kinds {
+			if !strings.Contains(msg, k) {
+				t.Errorf("Parse(%q) error %q missing valid kind %q", c.src, msg, k)
+			}
+		}
+	}
+}
+
+// TestParseServeDirectives covers the service-side grammar extension.
+func TestParseServeDirectives(t *testing.T) {
+	spec, err := fault.Parse("slow(p=0.1,ms=20);stuck(p=0.01,ms=300,tenant=hog);burst(tenant=hog,rps=250,at=500,dur=1000);flood(tenant=hog,rps=800)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fault.Directive{
+		{Kind: "slow", Flow: -1, Port: -1, Router: -1, P: 0.1, MS: 20, MKind: fault.MalformedZeroLen},
+		{Kind: "stuck", Flow: -1, Port: -1, Router: -1, P: 0.01, MS: 300, Tenant: "hog", MKind: fault.MalformedZeroLen},
+		{Kind: "burst", Flow: -1, Port: -1, Router: -1, Tenant: "hog", RPS: 250, At: 500, Dur: 1000, MKind: fault.MalformedZeroLen},
+		{Kind: "flood", Flow: -1, Port: -1, Router: -1, Tenant: "hog", RPS: 800, MKind: fault.MalformedZeroLen},
+	}
+	if len(spec.Directives) != len(want) {
+		t.Fatalf("got %d directives, want %d", len(spec.Directives), len(want))
+	}
+	for i, d := range spec.Directives {
+		if d != want[i] {
+			t.Errorf("directive %d = %+v, want %+v", i, d, want[i])
+		}
+	}
+}
+
+func TestParseServeDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"slow(ms=10)", "requires p > 0"},
+		{"slow(p=0.5)", "requires ms > 0"},
+		{"stuck(p=0.5,ms=0)", "requires ms > 0"},
+		{"burst(rps=10,at=0,dur=5)", "requires tenant"},
+		{"burst(tenant=a,at=0,dur=5)", "requires rps > 0"},
+		{"burst(tenant=a,rps=10)", "dur > 0"},
+		{"flood(tenant=a)", "requires rps > 0"},
+		{"flood(rps=5)", "requires tenant"},
+	}
+	for _, c := range cases {
+		_, err := fault.Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Text exposition of a Registry in the Prometheus text format
+// (text/plain; version=0.0.4), so a live run's registry can be
+// scraped from a /metrics endpoint instead of only landing in a run
+// manifest at exit. Metric names are sanitized to the Prometheus
+// charset (dots become underscores); histograms are exposed as
+// summaries with p50/p95/p99/p999 quantiles plus _sum/_count/_max.
+// Output order is sorted by name, so two scrapes of an idle registry
+// are byte-identical — the property the golden test pins.
+
+// sanitizeMetricName maps a registry name to the Prometheus charset
+// [a-zA-Z0-9_:]; every other rune becomes '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteText writes a point-in-time snapshot of reg to w in the
+// Prometheus text exposition format.
+func WriteText(w io.Writer, reg *Registry) error {
+	s := reg.Snapshot()
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := sanitizeMetricName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := sanitizeMetricName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Vecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := sanitizeMetricName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", m); err != nil {
+			return err
+		}
+		for i, v := range s.Vecs[n] {
+			if _, err := fmt.Fprintf(w, "%s{cell=\"%d\"} %d\n", m, i, v); err != nil {
+				return err
+			}
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := sanitizeMetricName(n)
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", m); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			v     int64
+		}{
+			{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}, {"0.999", h.P999},
+		} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n", m, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n%s_max %d\n",
+			m, h.Sum, m, h.Count, m, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsHandler returns an http.Handler serving WriteText of reg —
+// the /metrics endpoint. A nil reg serves the default registry.
+func MetricsHandler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteText(w, reg)
+	})
+}

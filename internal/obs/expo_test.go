@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.enqueued": "serve_enqueued",
+		"already_fine":   "already_fine",
+		"with:colon":     "with:colon",
+		"bad-dash/slash": "bad_dash_slash",
+		"9starts.digit":  "_9starts_digit",
+		"спам":           "____",
+		"mix.9.dots":     "mix_9_dots",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteTextGolden pins the exposition format for one of each
+// metric type.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.enqueued").Add(3)
+	reg.Gauge("serve.tier").Set(1)
+	v := reg.Vec("hops.per_dim", 2)
+	v.Add(0, 5)
+	v.Add(1, 7)
+	h := reg.Histogram("wait.ms", HistogramOpts{Width: 1, Buckets: 8})
+	h.Observe(2)
+	h.Observe(4)
+
+	var b strings.Builder
+	if err := WriteText(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE serve_enqueued counter
+serve_enqueued 3
+# TYPE serve_tier gauge
+serve_tier 1
+# TYPE hops_per_dim gauge
+hops_per_dim{cell="0"} 5
+hops_per_dim{cell="1"} 7
+# TYPE wait_ms summary
+wait_ms{quantile="0.5"} 4
+wait_ms{quantile="0.95"} 4
+wait_ms{quantile="0.99"} 4
+wait_ms{quantile="0.999"} 4
+wait_ms_sum 6
+wait_ms_count 2
+wait_ms_max 4
+`
+	if b.String() != want {
+		t.Fatalf("WriteText output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWriteTextScrapeStability: two scrapes of an idle registry are
+// byte-identical (map iteration order must not leak into the output).
+func TestWriteTextScrapeStability(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"z.last", "a.first", "m.middle", "b.second", "y.tail"} {
+		reg.Counter(n).Inc()
+		reg.Gauge(n + ".g").Set(2)
+	}
+	scrape := func() string {
+		var b strings.Builder
+		if err := WriteText(&b, reg); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := scrape()
+	for i := 0; i < 10; i++ {
+		if s := scrape(); s != first {
+			t.Fatalf("scrape %d differs:\n%s\nvs\n%s", i, s, first)
+		}
+	}
+	// Sorted order: a.first before b.second before m.middle ...
+	if !strings.Contains(first, "a_first") || strings.Index(first, "a_first") > strings.Index(first, "z_last") {
+		t.Fatalf("output not sorted:\n%s", first)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(42)
+	rec := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits 42") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+	// nil registry serves the default one without panicking.
+	rec = httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("default-registry scrape status %d", rec.Code)
+	}
+}
+
+// TestSnapshotUnderConcurrentWrites hammers a registry from writer
+// goroutines while snapshotting concurrently, pinning the documented
+// consistency contract: every snapshot is internally sane (counters
+// monotone across snapshots, histogram count within the writers'
+// progress bounds) even though it is not a single atomic cut. Run
+// with -race, this is also the data-race proof for the registry.
+func TestSnapshotUnderConcurrentWrites(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops")
+	g := reg.Gauge("level")
+	v := reg.Vec("cells", 4)
+	h := reg.Histogram("lat", HistogramOpts{Width: 1, Buckets: 64})
+
+	const writers = 4
+	const perWriter = 5000
+	var progress atomic.Int64 // observations completed, all writers
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				v.Add(i%4, 1)
+				h.Observe(int64(i % 60))
+				progress.Add(1)
+			}
+		}(wi)
+	}
+
+	var snaps int
+	var lastOps int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			// Snapshot first, stop-check after: even if the writers
+			// finish before this goroutine is first scheduled, at
+			// least one snapshot (then exact) is taken and checked.
+			before := progress.Load()
+			s := reg.Snapshot()
+			after := progress.Load()
+			snaps++
+
+			ops := s.Counters["ops"]
+			if ops < lastOps {
+				t.Errorf("counter went backwards across snapshots: %d -> %d", lastOps, ops)
+				return
+			}
+			lastOps = ops
+			// The histogram count must lie within the writers' progress
+			// bounds read around the snapshot: at least what was surely
+			// done before, at most what could have been done after.
+			hs := s.Histograms["lat"]
+			if hs.Count < before || hs.Count > after+writers {
+				t.Errorf("histogram count %d outside progress window [%d, %d]", hs.Count, before, after+writers)
+				return
+			}
+			if hs.Sum < 0 || hs.Max > 59 {
+				t.Errorf("histogram snapshot implausible: %+v", hs)
+				return
+			}
+			var vecSum int64
+			for _, cell := range s.Vecs["cells"] {
+				vecSum += cell
+			}
+			if vecSum > after+writers {
+				t.Errorf("vec sum %d beyond progress %d", vecSum, after)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-done
+	if snaps == 0 {
+		t.Fatal("snapshotter never ran")
+	}
+
+	// Quiesced: the final snapshot must be exact.
+	s := reg.Snapshot()
+	if s.Counters["ops"] != writers*perWriter {
+		t.Fatalf("final ops %d, want %d", s.Counters["ops"], writers*perWriter)
+	}
+	if s.Histograms["lat"].Count != writers*perWriter {
+		t.Fatalf("final histogram count %d, want %d", s.Histograms["lat"].Count, writers*perWriter)
+	}
+	var vecSum int64
+	for _, cell := range s.Vecs["cells"] {
+		vecSum += cell
+	}
+	if vecSum != writers*perWriter {
+		t.Fatalf("final vec sum %d, want %d", vecSum, writers*perWriter)
+	}
+}

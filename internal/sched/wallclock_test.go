@@ -1,0 +1,29 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostClockRoundsUpAndClamps(t *testing.T) {
+	cases := []struct {
+		unit time.Duration
+		d    time.Duration
+		want int64
+	}{
+		{time.Millisecond, 0, 1},
+		{time.Millisecond, -time.Second, 1},
+		{time.Millisecond, time.Microsecond, 1},
+		{time.Millisecond, time.Millisecond, 1},
+		{time.Millisecond, time.Millisecond + time.Nanosecond, 2},
+		{time.Millisecond, 5 * time.Second, 5000},
+		{10 * time.Millisecond, 15 * time.Millisecond, 2},
+		{0, 3 * time.Millisecond, 3},      // zero unit defaults to 1ms
+		{-time.Second, time.Second, 1000}, // negative unit too
+	}
+	for _, c := range cases {
+		if got := (CostClock{Unit: c.unit}).Cost(c.d); got != c.want {
+			t.Errorf("CostClock{%v}.Cost(%v) = %d, want %d", c.unit, c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BenchConfig parameterizes the saturation sweep. The nominal
+// capacity is Workers * 1000/CostMS requests per second (every
+// request costs CostMS of handler time); each saturation point offers
+// that capacity scaled by the point's factor, split between Mice
+// well-behaved tenants (together never more than half the capacity —
+// within their fair share) and one elephant tenant that absorbs the
+// rest, so every drop of overload is the elephant's. A fair front end
+// must shed the elephant and keep the mice whole.
+type BenchConfig struct {
+	Workers  int
+	CostMS   int
+	QueueCap int
+	Mice     int
+	// Saturations are the offered-load factors (default 0.5, 1, 2, 10).
+	Saturations []float64
+	// Dur is the load duration per point.
+	Dur  time.Duration
+	Seed uint64
+}
+
+// BenchPoint is one saturation point's outcome.
+type BenchPoint struct {
+	Saturation float64 `json:"saturation"`
+	OfferedRPS float64 `json:"offered_rps"`
+	Sent       int64   `json:"sent"`
+	OK         int64   `json:"ok"`
+	Shed       int64   `json:"shed"`
+	// ReqPerSec is delivered goodput: completed 200s per second.
+	ReqPerSec float64 `json:"req_per_sec"`
+	// Latency is end-to-end (queue wait + service), per tenant class:
+	// the elephant's p99 and the worst p99 among the mice.
+	ElephantP99MS   int64   `json:"elephant_p99_ms"`
+	MiceWorstP99MS  int64   `json:"mice_worst_p99_ms"`
+	ElephantSuccess float64 `json:"elephant_success"`
+	MiceMinSuccess  float64 `json:"mice_min_success"`
+}
+
+// BenchReport is the JSON shape written to BENCH_serve.json.
+type BenchReport struct {
+	Description string       `json:"description"`
+	Date        string       `json:"date"`
+	Workers     int          `json:"workers"`
+	CostMS      int          `json:"cost_ms"`
+	CapacityRPS float64      `json:"capacity_rps"`
+	Mice        int          `json:"mice"`
+	DurMS       int64        `json:"dur_ms"`
+	Seed        uint64       `json:"seed"`
+	Points      []BenchPoint `json:"points"`
+}
+
+// RunBench sweeps the saturation points, one fresh server per point so
+// no state leaks between them.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.CostMS <= 0 {
+		cfg.CostMS = 4
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Mice <= 0 {
+		cfg.Mice = 9
+	}
+	if len(cfg.Saturations) == 0 {
+		cfg.Saturations = []float64{0.5, 1, 2, 10}
+	}
+	if cfg.Dur <= 0 {
+		cfg.Dur = 2 * time.Second
+	}
+	capacity := float64(cfg.Workers) * 1000 / float64(cfg.CostMS)
+
+	rep := &BenchReport{
+		Description: "errserve saturation sweep: open-loop elephant-vs-mice load against the wall-clock ERR front end. At each point the offered load is saturation * capacity; the mice together get at most half the capacity (within their fair share, split evenly) and one elephant tenant offers all the rest, so every drop of overload is the elephant's. req_per_sec is delivered 200s per second and the p99s are end-to-end (queue wait + service). The fairness property under test: past saturation the elephant is shed while every mouse keeps near-full success at bounded p99. Regenerate with: go run ./cmd/errserve -bench (run alone: wall-clock latencies are load-sensitive).",
+		Date:        time.Now().Format("2006-01-02"),
+		Workers:     cfg.Workers,
+		CostMS:      cfg.CostMS,
+		CapacityRPS: capacity,
+		Mice:        cfg.Mice,
+		DurMS:       cfg.Dur.Milliseconds(),
+		Seed:        cfg.Seed,
+	}
+
+	for _, sat := range cfg.Saturations {
+		offered := sat * capacity
+		s, err := New(Config{
+			Handler:  WorkHandler(),
+			Workers:  cfg.Workers,
+			QueueCap: cfg.QueueCap,
+			Registry: obs.NewRegistry(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+
+		miceTotal := offered / 2
+		if miceTotal > capacity/2 {
+			miceTotal = capacity / 2
+		}
+		specs := []LoadSpec{{Tenant: "elephant", RPS: offered - miceTotal, CostMS: cfg.CostMS}}
+		for i := 0; i < cfg.Mice; i++ {
+			specs = append(specs, LoadSpec{
+				Tenant: fmt.Sprintf("mouse-%d", i),
+				RPS:    miceTotal / float64(cfg.Mice),
+				CostMS: cfg.CostMS,
+			})
+		}
+		results := RunLoad(s, specs, cfg.Seed, cfg.Dur)
+		drainErr := s.Drain(10 * time.Second)
+		s.Close()
+		if drainErr != nil {
+			return nil, fmt.Errorf("bench: saturation %g: %w", sat, drainErr)
+		}
+		if n, msgs := s.VerifyAccounting(); n != 0 {
+			return nil, fmt.Errorf("bench: saturation %g: %d accounting violations: %v", sat, n, msgs)
+		}
+
+		pt := BenchPoint{Saturation: sat, OfferedRPS: offered, MiceMinSuccess: 1}
+		for _, r := range results {
+			pt.Sent += r.Sent
+			pt.OK += r.OK
+			pt.Shed += r.Shed
+		}
+		pt.ReqPerSec = float64(pt.OK) / cfg.Dur.Seconds()
+		pt.ElephantSuccess = results[0].SuccessRate()
+		for _, r := range results[1:] {
+			if sr := r.SuccessRate(); sr < pt.MiceMinSuccess {
+				pt.MiceMinSuccess = sr
+			}
+		}
+		for _, ts := range s.Stats() {
+			if ts.Tenant == "elephant" {
+				pt.ElephantP99MS = ts.TotalP99MS
+			} else if ts.TotalP99MS > pt.MiceWorstP99MS {
+				pt.MiceWorstP99MS = ts.TotalP99MS
+			}
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Degradation tiers. Higher tiers shed more: the server gives up
+// features to stay alive, in order, rather than failing everything at
+// once.
+const (
+	tierFull       = int32(0) // full service
+	tierShedWrites = int32(1) // writes shed with 503; reads still served
+	tierHealthOnly = int32(2) // only health checks answered
+)
+
+// degradeCtl drives the degradation tier from queued-memory occupancy
+// (queuedBytes / GlobalBytes) with watermark hysteresis: a tier
+// engages the moment occupancy crosses its high watermark (protecting
+// the server is urgent), but releases only after occupancy has
+// dropped below the low watermark AND the tier has been held for the
+// dwell time — so a load oscillating around a watermark cannot flap
+// the service mode.
+type degradeCtl struct {
+	tier atomic.Int32
+
+	writeHigh, writeLow float64
+	fullHigh, fullLow   float64
+	dwell               time.Duration
+	now                 func() time.Time
+
+	// lastChange is read/written under the server lock (update is
+	// only called there); tier is atomic so the admission fast path
+	// can read it without the lock.
+	lastChange time.Time
+
+	transitions atomic.Int64
+}
+
+func (d *degradeCtl) init(writeHigh, writeLow, fullHigh, fullLow float64, dwell time.Duration, now func() time.Time) {
+	d.writeHigh, d.writeLow = writeHigh, writeLow
+	d.fullHigh, d.fullLow = fullHigh, fullLow
+	d.dwell = dwell
+	d.now = now
+}
+
+// tierNow returns the current tier without taking any lock.
+func (d *degradeCtl) tierNow() int32 { return d.tier.Load() }
+
+// update advances the tier machine given the current occupancy
+// fraction. Called under the server lock on every queue transition.
+// It returns true when the tier changed.
+func (d *degradeCtl) update(occ float64) bool {
+	cur := d.tier.Load()
+	next := cur
+
+	// Escalate immediately: the highest tier whose high watermark is
+	// breached wins.
+	switch {
+	case occ >= d.fullHigh:
+		next = tierHealthOnly
+	case occ >= d.writeHigh && cur < tierShedWrites:
+		next = tierShedWrites
+	}
+
+	// De-escalate one tier at a time, only below the low watermark and
+	// after the dwell.
+	if next == cur && cur > tierFull {
+		low := d.writeLow
+		if cur == tierHealthOnly {
+			low = d.fullLow
+		}
+		if occ <= low && d.now().Sub(d.lastChange) >= d.dwell {
+			next = cur - 1
+		}
+	}
+
+	if next == cur {
+		return false
+	}
+	d.tier.Store(next)
+	d.lastChange = d.now()
+	d.transitions.Add(1)
+	return true
+}
+
+// degradeLocked recomputes occupancy and advances the degradation
+// tier; caller holds s.mu.
+func (s *Server) degradeLocked() {
+	occ := float64(s.queuedBytes) / float64(s.cfg.GlobalBytes)
+	if s.degrade.update(occ) {
+		s.m.tier.Set(int64(s.degrade.tierNow()))
+		s.m.tierChanges.Inc()
+	}
+}
+
+// Tier returns the current degradation tier (0 = full service,
+// 1 = writes shed, 2 = health checks only).
+func (s *Server) Tier() int { return int(s.degrade.tierNow()) }

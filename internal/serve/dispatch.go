@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// dispatch is the arbiter goroutine: whenever a worker slot is free it
+// asks the scheduler which flow serves next, evicts that flow's
+// expired waiters, and grants the flow's head request to its waiting
+// goroutine. All scheduler calls in the process happen here or under
+// the same lock, so WallERR needs no internal locking.
+func (s *Server) dispatch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return
+		}
+		if s.freeSlots == 0 || s.draining {
+			s.cond.Wait()
+			continue
+		}
+		flow := s.sched.NextFlow()
+		if flow == -1 {
+			s.cond.Wait()
+			continue
+		}
+		f := s.flows[flow]
+
+		// Evict expired waiters before dispatch: a request whose
+		// deadline already passed must never reach a worker. (Its own
+		// timer fires at the deadline too; this sweep wins when the
+		// dispatcher gets there first.)
+		now := s.cfg.now()
+		for {
+			r := f.peek()
+			if r == nil || r.deadline.IsZero() || r.deadline.After(now) {
+				break
+			}
+			f.pop()
+			r.state = reqDeadline
+			close(r.ready)
+			f.expired++
+			s.queuedBytes -= r.bytes
+			s.queuedReqs--
+			s.m.expired.Inc()
+		}
+		if f.len() == 0 {
+			// Everything this flow had queued was evicted (here, by a
+			// budget shed, or by waiters' own timers).
+			s.sched.OnEvicted(flow, true)
+			s.m.queued.Set(int64(s.queuedReqs))
+			s.m.queuedBytes.Set(s.queuedBytes)
+			continue
+		}
+
+		req := f.pop()
+		req.state = reqGranted
+		req.token = s.sched.OnDispatch(flow, f.len() == 0)
+		f.granted++
+		f.wait.Observe(now.Sub(req.enq).Milliseconds())
+		s.queuedBytes -= req.bytes
+		s.queuedReqs--
+		s.freeSlots--
+		s.inflight++
+		s.m.granted.Inc()
+		s.m.queued.Set(int64(s.queuedReqs))
+		s.m.queuedBytes.Set(s.queuedBytes)
+		s.m.inflight.Set(int64(s.inflight))
+		s.m.waitMS.Observe(now.Sub(req.enq).Milliseconds())
+		s.checkQuickLocked()
+		close(req.ready)
+	}
+}
+
+// Drain gracefully shuts the server down: new arrivals are rejected
+// with 503, every queued request is evicted with 503 (a retry against
+// another replica beats waiting out a dying one), and in-flight
+// handlers get up to timeout to finish. It returns nil when the
+// server drained cleanly and an error naming the stragglers when the
+// timeout expired with handlers still running. Drain is idempotent;
+// concurrent callers all wait.
+func (s *Server) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, f := range s.flows {
+			for f.len() > 0 {
+				r := f.pop()
+				r.state = reqDrained
+				close(r.ready)
+				f.drained++
+				s.queuedBytes -= r.bytes
+				s.queuedReqs--
+				s.m.drainEvicted.Inc()
+			}
+			s.sched.OnEvicted(f.id, true)
+		}
+		s.m.queued.Set(int64(s.queuedReqs))
+		s.m.queuedBytes.Set(s.queuedBytes)
+		if s.queuedReqs != 0 || s.queuedBytes != 0 {
+			s.m.violation("drain left queued=%d bytes=%d", s.queuedReqs, s.queuedBytes)
+		}
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	// Wait for in-flight handlers. A timer broadcast bounds the wait.
+	t := time.AfterFunc(timeout, s.cond.Broadcast)
+	defer t.Stop()
+	s.mu.Lock()
+	for s.inflight > 0 && time.Now().Before(deadline) {
+		s.cond.Wait()
+	}
+	left := s.inflight
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if left > 0 {
+		return fmt.Errorf("serve: drain timeout after %v with %d requests in flight", timeout, left)
+	}
+	return nil
+}
+
+// Close immediately stops the dispatcher without waiting for
+// in-flight handlers; queued waiters are evicted with 503 so their
+// goroutines do not leak. For tests — production exits call Drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	for _, f := range s.flows {
+		for f.len() > 0 {
+			r := f.pop()
+			r.state = reqDrained
+			close(r.ready)
+			f.drained++
+			s.queuedBytes -= r.bytes
+			s.queuedReqs--
+		}
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestServeFairnessVariance is the wall-clock port of the fq repos'
+// consumeQueue check: N tenants with identical aggregate demand but
+// per-request costs the scheduler cannot see up front; while every
+// tenant stays backlogged, the service units each receives must stay
+// within a small variance of the ideal equal share.
+//
+// Costs are deterministic (the X-Cost header is billed via the CostOf
+// hook and handlers are instant), so the only nondeterminism is grant
+// interleaving across the worker pool — which the all-active window
+// measurement absorbs.
+func TestServeFairnessVariance(t *testing.T) {
+	const (
+		tenants  = 4
+		perQueue = 40
+	)
+	// Every tenant enqueues the same multiset of costs (cycling 1..5),
+	// so ideal shares are exactly equal.
+	costs := make([]int64, perQueue)
+	var totalPer int64
+	for i := range costs {
+		costs[i] = int64(i%5 + 1)
+		totalPer += costs[i]
+	}
+
+	type grant struct {
+		tenant string
+		cost   int64
+	}
+	var mu sync.Mutex
+	var grants []grant
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		c, _ := strconv.ParseInt(r.Header.Get("X-Cost"), 10, 64)
+		mu.Lock()
+		grants = append(grants, grant{r.Header.Get("X-Tenant"), c})
+		mu.Unlock()
+	})
+	s := newTestServer(t, Config{
+		Handler: h, Workers: 1, QueueCap: perQueue + 1,
+		CostOf: func(r *http.Request, _ time.Duration) int64 {
+			c, _ := strconv.ParseInt(r.Header.Get("X-Cost"), 10, 64)
+			if c < 1 {
+				c = 1
+			}
+			return c
+		},
+	})
+
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		tenant := fmt.Sprintf("tenant-%d", ti)
+		for _, c := range costs {
+			wg.Add(1)
+			go func(tenant string, c int64) {
+				defer wg.Done()
+				do(s, "GET", "/x", tenant, map[string]string{"X-Cost": fmt.Sprint(c)})
+			}(tenant, c)
+		}
+	}
+	// Gate the workers until everything is enqueued or in flight, so
+	// the all-active window starts with full backlogs.
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queuedReqs+s.inflight == tenants*perQueue
+	})
+	close(release)
+	wg.Wait()
+
+	// All-active window: grants up to (excluding) the first tenant
+	// finishing its backlog.
+	served := map[string]int{}
+	units := map[string]int64{}
+	window := 0
+	for _, g := range grants {
+		served[g.tenant]++
+		units[g.tenant] += g.cost
+		window++
+		if served[g.tenant] == perQueue {
+			break
+		}
+	}
+
+	// Mean/stddev of per-tenant service units inside the window.
+	var sum float64
+	for _, u := range units {
+		sum += float64(u)
+	}
+	mean := sum / tenants
+	var varsum float64
+	for _, u := range units {
+		varsum += (float64(u) - mean) * (float64(u) - mean)
+	}
+	stdev := math.Sqrt(varsum / tenants)
+
+	// ERR bounds the per-round service gap by the max request cost (5
+	// units here); across the window the shares must be nearly equal.
+	// 10% of the mean is generous against grant interleaving noise.
+	if stdev > 0.10*mean {
+		t.Fatalf("service-unit stdev %.1f exceeds 10%% of mean %.1f; units=%v (window %d grants)",
+			stdev, mean, units, window)
+	}
+	verifyClean(t, s)
+}
+
+// TestServeGoldenSheddingFairness is the golden overload test: one
+// elephant floods at 10x its fair share while nine mice send well
+// within theirs. The mice must keep a >= 95% success rate — the
+// elephant's overload is its own problem (per-flow queue bound), paid
+// in 429s it absorbs itself.
+//
+// Capacity: 2 workers x 4ms handler = ~500 req/s. Fair share across
+// 10 tenants = 50 req/s. Mice send 30 req/s each (under allowance);
+// the elephant sends 500 req/s (10x). Load arrivals derive from a
+// fixed seed.
+func TestServeGoldenSheddingFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload run takes ~2s")
+	}
+	s := newTestServer(t, Config{
+		Handler: sleepMS, Workers: 2, QueueCap: 32,
+	})
+
+	specs := []LoadSpec{{Tenant: "elephant", RPS: 500, CostMS: 4}}
+	for i := 0; i < 9; i++ {
+		specs = append(specs, LoadSpec{Tenant: fmt.Sprintf("mouse-%d", i), RPS: 30, CostMS: 4})
+	}
+	results := RunLoad(s, specs, 0xe1e9, 2*time.Second)
+
+	elephant := results[0]
+	if elephant.Shed == 0 {
+		t.Fatalf("elephant absorbed no 429s under 10x overload: %+v", elephant)
+	}
+	for _, r := range results[1:] {
+		if r.Sent == 0 {
+			t.Fatalf("mouse %s sent nothing", r.Tenant)
+		}
+		if rate := r.SuccessRate(); rate < 0.95 {
+			t.Fatalf("mouse %s success rate %.3f < 0.95 (%+v); elephant %+v",
+				r.Tenant, rate, r, elephant)
+		}
+	}
+	// The elephant must be doing measurably worse than the mice — its
+	// overload is shed onto itself, not spread.
+	if rate := elephant.SuccessRate(); rate > 0.90 {
+		t.Fatalf("elephant success rate %.3f suspiciously high for 10x overload", rate)
+	}
+
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain after overload: %v", err)
+	}
+	verifyClean(t, s)
+}
+
+// TestServeRunLoadDeterministicArrivals pins that two RunLoad calls
+// with the same seed produce identical sent counts (arrival processes
+// are seed-derived; outcomes may differ, arrivals must not).
+func TestServeRunLoadDeterministicArrivals(t *testing.T) {
+	specs := []LoadSpec{
+		{Tenant: "a", RPS: 300},
+		{Tenant: "b", RPS: 200, Start: 50 * time.Millisecond, Dur: 100 * time.Millisecond},
+	}
+	run := func() []int64 {
+		s := newTestServer(t, Config{Handler: instantOK, Workers: 4, Registry: obs.NewRegistry()})
+		res := RunLoad(s, specs, 42, 300*time.Millisecond)
+		s.Close()
+		return []int64{res[0].Sent, res[1].Sent}
+	}
+	a, b := run(), run()
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("sent counts differ across same-seed runs: %v vs %v", a, b)
+	}
+	if a[0] == 0 || a[1] == 0 {
+		t.Fatalf("degenerate load run: %v", a)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// LoadSpec describes one tenant's open-loop request stream against a
+// Server under test: requests arrive by a Poisson process at RPS,
+// independent of how previous requests fared — exactly the traffic an
+// overloaded front end actually faces (clients do not slow down
+// because the server is drowning).
+type LoadSpec struct {
+	Tenant string
+	// RPS is the Poisson arrival rate, requests per second.
+	RPS float64
+	// Start delays the stream's onset from the run start; Dur bounds
+	// how long it sends (0 = until the run ends). Together they model
+	// burst storms.
+	Start, Dur time.Duration
+	// CostMS asks the demo handler for that much work per request (the
+	// ms query parameter of /work).
+	CostMS int
+	// DeadlineMS sets the X-Request-Deadline-Ms header (0 = none).
+	DeadlineMS int
+	// BodyBytes declares a Content-Length, exercising the memory
+	// budget without allocating real bodies.
+	BodyBytes int
+}
+
+// LoadResult tallies one stream's outcomes by response class.
+type LoadResult struct {
+	Tenant  string `json:"tenant"`
+	Sent    int64  `json:"sent"`
+	OK      int64  `json:"ok"`
+	Shed    int64  `json:"shed"`    // 429
+	Unavail int64  `json:"unavail"` // 503
+	Expired int64  `json:"expired"` // 504
+	Other   int64  `json:"other"`
+}
+
+// SuccessRate returns OK/Sent (1 for an idle stream).
+func (r LoadResult) SuccessRate() float64 {
+	if r.Sent == 0 {
+		return 1
+	}
+	return float64(r.OK) / float64(r.Sent)
+}
+
+// loadStream is the rng.Derive label for load-arrival streams.
+const loadStream uint64 = 0x10ad
+
+// RunLoad fires every spec at h for dur and returns per-spec tallies
+// in spec order. Arrival times are drawn from seed-derived streams,
+// so a load run is as repeatable as the scheduler underneath allows.
+// RunLoad returns only after every issued request has completed.
+func RunLoad(h http.Handler, specs []LoadSpec, seed uint64, dur time.Duration) []LoadResult {
+	results := make([]LoadResult, len(specs))
+	var wg sync.WaitGroup
+	var reqs sync.WaitGroup
+	tallies := make([]struct {
+		sent, ok, shed, unavail, expired, other atomic.Int64
+	}, len(specs))
+
+	start := time.Now()
+	for i, spec := range specs {
+		results[i].Tenant = spec.Tenant
+		wg.Add(1)
+		go func(i int, spec LoadSpec) {
+			defer wg.Done()
+			src := rng.New(rng.Derive(seed, loadStream, uint64(i)))
+			end := start.Add(dur)
+			if spec.Dur > 0 {
+				if e := start.Add(spec.Start + spec.Dur); e.Before(end) {
+					end = e
+				}
+			}
+			next := start.Add(spec.Start)
+			for {
+				next = next.Add(time.Duration(src.Exp(spec.RPS) * float64(time.Second)))
+				if next.After(end) {
+					return
+				}
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				t := &tallies[i]
+				t.sent.Add(1)
+				reqs.Add(1)
+				go func() {
+					defer reqs.Done()
+					target := "/work"
+					if spec.CostMS > 0 {
+						target = fmt.Sprintf("/work?ms=%d", spec.CostMS)
+					}
+					r := httptest.NewRequest("GET", target, nil)
+					r.Header.Set("X-Tenant", spec.Tenant)
+					if spec.DeadlineMS > 0 {
+						r.Header.Set("X-Request-Deadline-Ms", fmt.Sprint(spec.DeadlineMS))
+					}
+					if spec.BodyBytes > 0 {
+						r.ContentLength = int64(spec.BodyBytes)
+					}
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, r)
+					switch w.Code {
+					case http.StatusOK:
+						t.ok.Add(1)
+					case http.StatusTooManyRequests:
+						t.shed.Add(1)
+					case http.StatusServiceUnavailable:
+						t.unavail.Add(1)
+					case http.StatusGatewayTimeout:
+						t.expired.Add(1)
+					default:
+						t.other.Add(1)
+					}
+				}()
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	reqs.Wait()
+	for i := range results {
+		t := &tallies[i]
+		results[i].Sent = t.sent.Load()
+		results[i].OK = t.ok.Load()
+		results[i].Shed = t.shed.Load()
+		results[i].Unavail = t.unavail.Load()
+		results[i].Expired = t.expired.Load()
+		results[i].Other = t.other.Load()
+	}
+	return results
+}
+
+// LoadsFromFaults converts a fault spec's burst/flood directives into
+// LoadSpecs, so a chaos run's adversarial tenants are configured with
+// the same -faults grammar as its handler faults. Floods run for the
+// whole run; bursts use the directive's at/dur milliseconds. costMS
+// and deadlineMS apply to every generated stream.
+func LoadsFromFaults(spec *fault.Spec, costMS, deadlineMS int) []LoadSpec {
+	var out []LoadSpec
+	for _, l := range spec.Loads() {
+		out = append(out, LoadSpec{
+			Tenant:     l.Tenant,
+			RPS:        l.RPS,
+			Start:      time.Duration(l.AtMS) * time.Millisecond,
+			Dur:        time.Duration(l.DurMS) * time.Millisecond,
+			CostMS:     costMS,
+			DeadlineMS: deadlineMS,
+		})
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// serveMetrics is the server's handle set into the obs registry plus
+// the invariant-violation recorder. Counter/gauge/histogram mutation
+// is lock-free; the violation recorder keeps the last few messages
+// for test failure output.
+type serveMetrics struct {
+	enqueued, granted, completed *obs.Counter
+	shedQueue, shedBudget        *obs.Counter
+	shedDegraded, drainRejected  *obs.Counter
+	expired, canceled            *obs.Counter
+	drainEvicted                 *obs.Counter
+	tierChanges                  *obs.Counter
+	violations                   *obs.Counter
+
+	queued, queuedBytes *obs.Gauge
+	inflight, tier      *obs.Gauge
+	flows               *obs.Gauge
+
+	waitMS, serviceMS, totalMS *obs.Histogram
+
+	vmu            sync.Mutex
+	lastViolations []string
+}
+
+func (m *serveMetrics) init(reg *obs.Registry) {
+	m.enqueued = reg.Counter("serve.enqueued")
+	m.granted = reg.Counter("serve.granted")
+	m.completed = reg.Counter("serve.completed")
+	m.shedQueue = reg.Counter("serve.shed_queue_full")
+	m.shedBudget = reg.Counter("serve.shed_memory_budget")
+	m.shedDegraded = reg.Counter("serve.shed_degraded")
+	m.drainRejected = reg.Counter("serve.drain_rejected")
+	m.expired = reg.Counter("serve.deadline_expired")
+	m.canceled = reg.Counter("serve.client_canceled")
+	m.drainEvicted = reg.Counter("serve.drain_evicted")
+	m.tierChanges = reg.Counter("serve.tier_changes")
+	m.violations = reg.Counter("serve.violations")
+	m.queued = reg.Gauge("serve.queued")
+	m.queuedBytes = reg.Gauge("serve.queued_bytes")
+	m.inflight = reg.Gauge("serve.inflight")
+	m.tier = reg.Gauge("serve.tier")
+	m.flows = reg.Gauge("serve.flows")
+	lat := obs.HistogramOpts{Width: 1, Buckets: 4096} // 1ms buckets, 4s span
+	m.waitMS = reg.Histogram("serve.wait_ms", lat)
+	m.serviceMS = reg.Histogram("serve.service_ms", lat)
+	m.totalMS = reg.Histogram("serve.total_ms", lat)
+}
+
+// violation records an invariant violation: counted in the registry
+// (so run manifests and the CI smoke see it) and kept, capped, for
+// test failure messages. Safe for concurrent use.
+func (m *serveMetrics) violation(format string, args ...any) {
+	m.violations.Inc()
+	m.vmu.Lock()
+	if len(m.lastViolations) < 32 {
+		m.lastViolations = append(m.lastViolations, fmt.Sprintf(format, args...))
+	}
+	m.vmu.Unlock()
+}
+
+// checkQuickLocked asserts the O(1) queue-accounting invariants on
+// every transition; violations are counted, never fatal — a live
+// server degrades, it does not crash.
+func (s *Server) checkQuickLocked() {
+	if s.freeSlots < 0 || s.freeSlots > s.cfg.Workers {
+		s.m.violation("freeSlots %d outside [0,%d]", s.freeSlots, s.cfg.Workers)
+	}
+	if s.queuedBytes < 0 {
+		s.m.violation("queuedBytes %d < 0", s.queuedBytes)
+	}
+	if s.queuedReqs < 0 {
+		s.m.violation("queuedReqs %d < 0", s.queuedReqs)
+	}
+	if s.inflight < 0 || s.inflight > s.cfg.Workers {
+		s.m.violation("inflight %d outside [0,%d]", s.inflight, s.cfg.Workers)
+	}
+}
+
+// VerifyAccounting runs the O(flows) consistency audit: per-flow
+// lifetime counters must balance (enqueued = granted + evictions +
+// still-queued), the global byte/request tallies must equal the
+// per-flow sums, and the scheduler's in-flight count must match the
+// server's. It returns the total violation count afterwards and the
+// recorded messages; tests and the selfdrive harness call it at the
+// end of a run.
+func (s *Server) VerifyAccounting() (int64, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bytes int64
+	var reqs int
+	for _, f := range s.flows {
+		bytes += f.bytes
+		reqs += f.len()
+		settled := f.granted + f.shedBudget + f.expired + f.canceled + f.drained
+		if f.enqueued != settled+int64(f.len()) {
+			s.m.violation("flow %q accounting: enqueued %d != settled %d + queued %d",
+				f.tenant, f.enqueued, settled, f.len())
+		}
+		if f.completed > f.granted {
+			s.m.violation("flow %q completed %d > granted %d", f.tenant, f.completed, f.granted)
+		}
+	}
+	if bytes != s.queuedBytes {
+		s.m.violation("queuedBytes %d != per-flow sum %d", s.queuedBytes, bytes)
+	}
+	if reqs != s.queuedReqs {
+		s.m.violation("queuedReqs %d != per-flow sum %d", s.queuedReqs, reqs)
+	}
+	if s.sched.Inflight() != s.inflight {
+		s.m.violation("scheduler inflight %d != server inflight %d", s.sched.Inflight(), s.inflight)
+	}
+	s.m.vmu.Lock()
+	msgs := append([]string(nil), s.m.lastViolations...)
+	s.m.vmu.Unlock()
+	return s.m.violations.Value(), msgs
+}
+
+// TenantStats is one flow's lifetime accounting, for tests, the bench
+// harness and the per-tenant /metrics lines.
+type TenantStats struct {
+	Tenant    string `json:"tenant"`
+	Enqueued  int64  `json:"enqueued"`
+	Granted   int64  `json:"granted"`
+	Completed int64  `json:"completed"`
+	ShedQueue int64  `json:"shed_queue_full"`
+	ShedBudg  int64  `json:"shed_memory_budget"`
+	ShedDegr  int64  `json:"shed_degraded"`
+	Expired   int64  `json:"deadline_expired"`
+	Canceled  int64  `json:"client_canceled"`
+	Drained   int64  `json:"drain_evicted"`
+	CostUnits int64  `json:"cost_units"`
+	Queued    int    `json:"queued"`
+
+	WaitP50MS  int64 `json:"wait_p50_ms"`
+	WaitP99MS  int64 `json:"wait_p99_ms"`
+	TotalP50MS int64 `json:"total_p50_ms"`
+	TotalP99MS int64 `json:"total_p99_ms"`
+}
+
+// Stats returns per-tenant lifetime stats, sorted by tenant.
+func (s *Server) Stats() []TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStats, 0, len(s.flows))
+	for _, f := range s.flows {
+		out = append(out, TenantStats{
+			Tenant:    f.tenant,
+			Enqueued:  f.enqueued,
+			Granted:   f.granted,
+			Completed: f.completed,
+			ShedQueue: f.shedQueue,
+			ShedBudg:  f.shedBudget + f.shedBudgetRej,
+			ShedDegr:  f.shedDegraded,
+			Expired:   f.expired,
+			Canceled:  f.canceled,
+			Drained:   f.drained,
+			CostUnits: f.costUnits,
+			Queued:    f.len(),
+
+			WaitP50MS:  f.wait.Quantile(0.50),
+			WaitP99MS:  f.wait.Quantile(0.99),
+			TotalP50MS: f.total.Quantile(0.50),
+			TotalP99MS: f.total.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// MetricsHandler returns the /metrics endpoint: the obs registry in
+// the Prometheus text format plus per-tenant serve_tenant_* lines.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WriteText(w, s.cfg.Registry)
+		for _, ts := range s.Stats() {
+			fmt.Fprintf(w, "serve_tenant_granted{tenant=%q} %d\n", ts.Tenant, ts.Granted)
+			fmt.Fprintf(w, "serve_tenant_shed{tenant=%q} %d\n",
+				ts.Tenant, ts.ShedQueue+ts.ShedBudg+ts.ShedDegr)
+			fmt.Fprintf(w, "serve_tenant_cost_units{tenant=%q} %d\n", ts.Tenant, ts.CostUnits)
+			fmt.Fprintf(w, "serve_tenant_wait_p99_ms{tenant=%q} %d\n", ts.Tenant, ts.WaitP99MS)
+		}
+	})
+}
+
+// Registry returns the registry the server's metrics live in (the
+// configured one, or obs.Default()).
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// RunInfo assembles the obs.RunInfo for a serve session's manifest.
+func (s *Server) RunInfo() obs.RunInfo {
+	return obs.RunInfo{
+		Experiment: "errserve",
+		Workers:    s.cfg.Workers,
+	}
+}
