@@ -274,6 +274,10 @@ func BenchmarkWorkComplexityPBRR(b *testing.B) {
 	benchWorkComplexity(b, func() sched.Scheduler { return sched.NewPBRR() })
 }
 
+func BenchmarkWorkComplexityIWRR(b *testing.B) {
+	benchWorkComplexity(b, func() sched.Scheduler { return sched.NewIWRR(func(f int) int { return f%4 + 1 }) })
+}
+
 // --- substrate throughput ---
 
 // benchERRConfig is the shared workload of the engine-cycle

@@ -50,7 +50,7 @@ func emit(w io.Writer, res renderer, asJSON bool) error {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "table1", "experiment: table1, fig4a..d, fig4, fig5a, fig5b, fig5, fig6, fig6ext, occupancy, screset, weighted, gap, nocsweep, nocsweep-torus, parkinglot, lr")
+		exp       = flag.String("exp", "table1", "experiment: table1, fig4a..d, fig4, fig5a, fig5b, fig5, fig6, fig6ext, occupancy, screset, weighted, gap, nocsweep, nocsweep-torus, parkinglot, lr, bounds")
 		cycles    = flag.Int64("cycles", 0, "override the experiment's main run length in cycles (0 = paper scale)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		intervals = flag.Int("intervals", 0, "fig6: random intervals to average over (0 = paper's 10000)")
@@ -297,6 +297,17 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 			p.Cycles = cycles
 		}
 		return experiments.RunParkingLot(p)
+
+	case "bounds":
+		p := experiments.DefaultBoundsParams()
+		p.Seed = seed
+		p.Workers = parallel
+		p.Progress = prog
+		p.Robustness = rb
+		if cycles > 0 {
+			p.Cycles = cycles
+		}
+		return experiments.RunBounds(p)
 
 	case "lr":
 		if rb != (experiments.Robustness{}) {

@@ -1,0 +1,379 @@
+// Package bounds computes analytic per-flow delay and backlog bounds
+// for a (scheduler, weights/quanta, arrival-envelope, link-rate)
+// configuration, and checks a running simulation against them.
+//
+// The machinery is network calculus: each flow i declares a
+// token-bucket arrival curve alpha_i(t) = sigma_i + rho_i*t, each
+// discipline grants flow i a strict service curve beta_i, and then
+// every packet's delay is at most the horizontal deviation
+// h(alpha_i, beta_i) and the flow's backlog never exceeds the
+// vertical deviation v(alpha_i, beta_i) (Delay and Backlog in
+// curve.go). The service curves implemented here are deliberately
+// conservative relaxations of the exact published results — every
+// step in their derivations is an inequality that holds for this
+// repository's implementations (including flows that go idle and
+// rejoin mid-run, which the textbook "all flows continuously
+// backlogged" analyses sidestep), so an observed violation is a real
+// scheduler bug, never an artifact of an optimistic formula:
+//
+//   - WRR classic (cf. Constantin, Bouillard et al., "Service curves
+//     for WRR under constrained cross-traffic"): with per-round batch
+//     q_i = w_i*lmin_i and cross-round budget Qbar_i = sum_j w_j*lmax_j,
+//     any window of i's backlogged period with r complete rounds has
+//     r <= s_i/q_i and touches at most r+2 rounds, so
+//     beta_i = RateLatency(C*q_i/(q_i+Qbar_i), 2*Qbar_i/C).
+//   - WRR tightened (same paper's idea): cross flow j cannot send
+//     more than its own arrivals allow, so its per-window service is
+//     also capped by B_j + sigma_j + rho_j*t where B_j is j's classic
+//     backlog bound; subtracting the per-flow minimum of (round cap,
+//     arrival cap) from the total output Ct gives a second, often
+//     much steeper service curve for i. Both are valid; bounds take
+//     the pointwise-best (min of the two deviations).
+//   - IWRR (conservative relaxation of Tabatabaee, Le Boudec & Boyer,
+//     "Interleaved WRR: A Network Calculus Analysis"): per round,
+//     cross flow j transmits at most min(w_j, w_i-1) packets between
+//     i's in-round opportunities, [w_j >= w_i] + (w_j - w_i)^+ + 1
+//     around the round boundary — K_j = that count times lmax_j —
+//     giving beta_i = RateLatency(C*q_i/(q_i+G_i), 2*G_i/C) with
+//     G_i = sum_j K_j. (The exact published stair is tighter at
+//     sub-round timescales; the relaxation keeps every inequality
+//     valid for intermittently-backlogged cross flows.)
+//   - DRR (quantum-parameterised, cf. Boyer et al. and the convexity
+//     analysis of Mukherjee, Kuri & Singh used by OptimizeQuanta):
+//     m complete i-visits grant m*Q_i <= s_i + lmax_i, cross flow j
+//     is visited at most m+2 times for sum (m+2)*Q_j + lmax_j, so
+//     beta_i = RateLatency(C*Q_i/(Q_i+Qbar_i),
+//     (Qbar_i*(2 + lmax_i/Q_i) + sum_j lmax_j)/C).
+//   - ERR (from the paper's Lemma 1, SC_i <= m-1): a round grants
+//     allowance 1 + maxSC - SC_j <= m, overshoot < m, so cross flow j
+//     sends < 2m-1 per round while i sends >= lmin_i; a window with r
+//     i-opportunities touches at most r+2 rounds, so
+//     beta_i = RateLatency(C*lmin_i/(lmin_i+G), 2*G/C) with
+//     G = (n-1)*(2m-1) and m the largest packet cost.
+//
+// The Checker (checker.go) attaches to engine callbacks, measures
+// each flow's tightest token-bucket burst online (declaring only the
+// envelope rate), compares every departure's delay and every
+// arrival's backlog against the bounds, and reports violations as
+// structured, cycle-stamped check.Recorder reports under the
+// bounds.delay / bounds.backlog invariants — exactly like
+// internal/check does for Lemma 1.
+package bounds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Discipline selects which service-curve family applies. DRR-OPT is
+// DiscDRR with optimised Quantum fields — the formulas are the same.
+type Discipline string
+
+// The disciplines with implemented service curves.
+const (
+	DiscERR  Discipline = "ERR"
+	DiscWRR  Discipline = "WRR"
+	DiscIWRR Discipline = "IWRR"
+	DiscDRR  Discipline = "DRR"
+)
+
+// ParseDiscipline maps a scheduler name (sched.Scheduler.Name) to its
+// service-curve family.
+func ParseDiscipline(name string) (Discipline, error) {
+	switch name {
+	case "ERR":
+		// WERR is deliberately absent: the ERR curve's per-round caps
+		// assume unweighted allowances.
+		return DiscERR, nil
+	case "WRR":
+		return DiscWRR, nil
+	case "IWRR":
+		return DiscIWRR, nil
+	case "DRR", "DRR-OPT":
+		return DiscDRR, nil
+	}
+	return "", fmt.Errorf("bounds: no service curve for scheduler %q", name)
+}
+
+// FlowSpec declares one flow of a bounded configuration.
+type FlowSpec struct {
+	// Weight is the WRR/IWRR weight (>= 1; ignored by ERR and DRR).
+	Weight int `json:"weight"`
+	// Quantum is the DRR quantum in flits (>= 1; ignored elsewhere).
+	Quantum int64 `json:"quantum,omitempty"`
+	// LMin and LMax bound the flow's packet lengths in flits.
+	LMin int `json:"lmin"`
+	LMax int `json:"lmax"`
+	// Arrival is the flow's declared token-bucket envelope. The
+	// Checker measures Sigma online against the declared Rho; the
+	// static bound computations use it as given.
+	Arrival TokenBucket `json:"arrival"`
+}
+
+// Config is a complete bounded configuration.
+type Config struct {
+	// C is the link rate in flits/cycle (the single-server engine
+	// forwards one flit per cycle: C = 1).
+	C float64 `json:"c"`
+	// Flows holds one spec per flow id.
+	Flows []FlowSpec `json:"flows"`
+}
+
+// validate panics on a malformed configuration; bounds on nonsense
+// inputs would be silently meaningless.
+func (cfg *Config) validate() {
+	if cfg.C <= 0 {
+		panic("bounds: link rate C must be > 0")
+	}
+	for i, f := range cfg.Flows {
+		if f.LMin < 1 || f.LMax < f.LMin {
+			panic(fmt.Sprintf("bounds: flow %d has invalid length range [%d, %d]", i, f.LMin, f.LMax))
+		}
+	}
+}
+
+// ServiceCurves returns the valid strict service curves of flow i
+// under discipline d — more than one when independent derivations
+// exist (WRR classic + tightened); each is individually sound, so
+// bounds take the best.
+func (cfg *Config) ServiceCurves(d Discipline, i int) []Curve {
+	cfg.validate()
+	switch d {
+	case DiscERR:
+		return []Curve{cfg.errCurve(i)}
+	case DiscWRR:
+		return []Curve{cfg.wrrClassic(i), cfg.wrrTight(i)}
+	case DiscIWRR:
+		return []Curve{cfg.iwrrCurve(i)}
+	case DiscDRR:
+		return []Curve{cfg.drrCurve(i)}
+	}
+	panic(fmt.Sprintf("bounds: unknown discipline %q", d))
+}
+
+// DelayBound returns the delay bound of flow i under discipline d, in
+// cycles (+inf when the configuration is unstable for that flow).
+func (cfg *Config) DelayBound(d Discipline, i int) float64 {
+	a := cfg.Flows[i].Arrival
+	return minOver(cfg.ServiceCurves(d, i), func(c Curve) float64 { return Delay(a, c) })
+}
+
+// BacklogBound returns the backlog bound of flow i under discipline
+// d, in flits (+inf when the configuration is unstable for that flow).
+func (cfg *Config) BacklogBound(d Discipline, i int) float64 {
+	a := cfg.Flows[i].Arrival
+	return minOver(cfg.ServiceCurves(d, i), func(c Curve) float64 { return Backlog(a, c) })
+}
+
+// GuaranteedRate returns the long-run service rate flow i is
+// guaranteed under discipline d, in flits/cycle: the final slope of
+// its structural (round-counting) curve. The WRR tight curve is
+// deliberately excluded — its slope depends on the other flows'
+// arrival envelopes, so it is an analysis refinement, not a
+// provisioning guarantee (using it to set arrival rates would be
+// circular). Sweep configurations provision arrival rates as a
+// fraction of this.
+func (cfg *Config) GuaranteedRate(d Discipline, i int) float64 {
+	cfg.validate()
+	switch d {
+	case DiscERR:
+		return cfg.errCurve(i).rate
+	case DiscWRR:
+		return cfg.wrrClassic(i).rate
+	case DiscIWRR:
+		return cfg.iwrrCurve(i).rate
+	case DiscDRR:
+		return cfg.drrCurve(i).rate
+	}
+	panic(fmt.Sprintf("bounds: unknown discipline %q", d))
+}
+
+// --- per-discipline curves --------------------------------------------
+
+// errCurve: see the package comment for the derivation from Lemma 1.
+func (cfg *Config) errCurve(i int) Curve {
+	var m int64
+	for _, f := range cfg.Flows {
+		if int64(f.LMax) > m {
+			m = int64(f.LMax)
+		}
+	}
+	g := float64(len(cfg.Flows)-1) * float64(2*m-1)
+	lmin := float64(cfg.Flows[i].LMin)
+	return RateLatency(cfg.C*lmin/(lmin+g), 2*g/cfg.C)
+}
+
+// wrrRound returns flow i's per-round batch q_i = w_i*lmin_i and the
+// cross-round budget Qbar_i = sum_{j != i} w_j*lmax_j.
+func (cfg *Config) wrrRound(i int) (q, qbar float64) {
+	fi := cfg.Flows[i]
+	if fi.Weight < 1 {
+		panic(fmt.Sprintf("bounds: flow %d has WRR weight %d < 1", i, fi.Weight))
+	}
+	q = float64(fi.Weight) * float64(fi.LMin)
+	for j, f := range cfg.Flows {
+		if j == i {
+			continue
+		}
+		if f.Weight < 1 {
+			panic(fmt.Sprintf("bounds: flow %d has WRR weight %d < 1", j, f.Weight))
+		}
+		qbar += float64(f.Weight) * float64(f.LMax)
+	}
+	return q, qbar
+}
+
+func (cfg *Config) wrrClassic(i int) Curve {
+	q, qbar := cfg.wrrRound(i)
+	return RateLatency(cfg.C*q/(q+qbar), 2*qbar/cfg.C)
+}
+
+// wrrTight builds the constrained-cross-traffic curve: during a
+// window of length t inside i's backlogged period the server outputs
+// C*t flits, of which cross flow j takes at most the smaller of its
+// round-structure cap (at most C*t/q_i + 2 rounds fit in the window,
+// each granting j at most w_j*lmax_j) and its arrival cap (whatever
+// it had backlogged, at most B_j, plus what arrives, at most
+// sigma_j + rho_j*t). The remainder is i's. The resulting f(t) is
+// convex with f(0) <= 0; the curve is its nonnegative part.
+func (cfg *Config) wrrTight(i int) Curve {
+	q, _ := cfg.wrrRound(i)
+	type branch struct{ a, b, c, d float64 } // min(a + b*t, c + d*t)
+	var branches []branch
+	var xs []float64
+	for j, f := range cfg.Flows {
+		if j == i {
+			continue
+		}
+		cap0 := 2 * float64(f.Weight) * float64(f.LMax)
+		capRate := float64(f.Weight) * float64(f.LMax) * cfg.C / q
+		bj := Backlog(f.Arrival, cfg.wrrClassic(j))
+		br := branch{a: cap0, b: capRate, c: bj + f.Arrival.Sigma, d: f.Arrival.Rho}
+		branches = append(branches, br)
+		// Branch-crossing breakpoint, where the min switches.
+		if !math.IsInf(br.c, 1) && br.b != br.d {
+			if t := (br.c - br.a) / (br.b - br.d); t > 0 {
+				xs = append(xs, t)
+			}
+		}
+	}
+	f := func(t float64) float64 {
+		v := cfg.C * t
+		for _, br := range branches {
+			v -= math.Min(br.a+br.b*t, br.c+br.d*t)
+		}
+		return v
+	}
+	frate := func(t float64) float64 {
+		r := cfg.C
+		for _, br := range branches {
+			if br.a+br.b*t <= br.c+br.d*t {
+				r -= br.b
+			} else {
+				r -= br.d
+			}
+		}
+		return r
+	}
+	sort.Float64s(xs)
+	// Walk the convex pieces to the first nonnegative point, then
+	// emit the remaining breakpoints as corners. Past the root f is
+	// increasing (convex, f(0) <= 0), so the corners are valid.
+	t, v := 0.0, f(0.0)
+	pts := []point{{0, 0}}
+	root := math.Inf(1)
+	for k := 0; k <= len(xs); k++ {
+		var next float64
+		if k < len(xs) {
+			next = xs[k]
+		} else {
+			next = math.Inf(1)
+		}
+		if v >= 0 {
+			root = t
+			break
+		}
+		r := frate((t + math.Min(next, t+1)) / 2)
+		if r > 0 && t+(-v)/r <= next {
+			root = t + (-v)/r
+			break
+		}
+		if math.IsInf(next, 1) {
+			return newCurve(pts, 0) // never recovers: useless but sound
+		}
+		t, v = next, f(next)
+	}
+	if root > 0 {
+		pts = append(pts, point{root, 0})
+	}
+	for _, x := range xs {
+		if x > root {
+			pts = append(pts, point{x, f(x)})
+		}
+	}
+	lastX := pts[len(pts)-1].x
+	rate := frate(lastX + 1)
+	if rate < 0 {
+		rate = 0
+	}
+	return newCurve(pts, rate)
+}
+
+// iwrrCurve: see the package comment; K_j counts cross flow j's worst
+// per-round transmissions relative to flow i's opportunities.
+func (cfg *Config) iwrrCurve(i int) Curve {
+	fi := cfg.Flows[i]
+	if fi.Weight < 1 {
+		panic(fmt.Sprintf("bounds: flow %d has IWRR weight %d < 1", i, fi.Weight))
+	}
+	q := float64(fi.Weight) * float64(fi.LMin)
+	var g float64
+	for j, f := range cfg.Flows {
+		if j == i {
+			continue
+		}
+		if f.Weight < 1 {
+			panic(fmt.Sprintf("bounds: flow %d has IWRR weight %d < 1", j, f.Weight))
+		}
+		k := min(f.Weight, fi.Weight-1) + 1
+		if f.Weight >= fi.Weight {
+			k++
+		}
+		if f.Weight > fi.Weight {
+			k += f.Weight - fi.Weight
+		}
+		g += float64(k) * float64(f.LMax)
+	}
+	return RateLatency(cfg.C*q/(q+g), 2*g/cfg.C)
+}
+
+// drrCurve: see the package comment for the visit-counting derivation.
+func (cfg *Config) drrCurve(i int) Curve {
+	fi := cfg.Flows[i]
+	if fi.Quantum < 1 {
+		panic(fmt.Sprintf("bounds: flow %d has DRR quantum %d < 1", i, fi.Quantum))
+	}
+	qi := float64(fi.Quantum)
+	var qbar, crossL float64
+	for j, f := range cfg.Flows {
+		if j == i {
+			continue
+		}
+		if f.Quantum < 1 {
+			panic(fmt.Sprintf("bounds: flow %d has DRR quantum %d < 1", j, f.Quantum))
+		}
+		qbar += float64(f.Quantum)
+		crossL += float64(f.LMax)
+	}
+	r := cfg.C * qi / (qi + qbar)
+	t := (qbar*(2+float64(fi.LMax)/qi) + crossL) / cfg.C
+	return RateLatency(r, t)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

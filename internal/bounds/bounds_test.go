@@ -1,0 +1,254 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+// twoFlows is a minimal config: flow 0 short packets, flow 1 long.
+func twoFlows() Config {
+	return Config{C: 1, Flows: []FlowSpec{
+		{Weight: 1, Quantum: 16, LMin: 8, LMax: 16, Arrival: TokenBucket{Sigma: 16, Rho: 0.01}},
+		{Weight: 2, Quantum: 32, LMin: 16, LMax: 32, Arrival: TokenBucket{Sigma: 32, Rho: 0.02}},
+	}}
+}
+
+func TestRateLatencyDeviations(t *testing.T) {
+	a := TokenBucket{Sigma: 10, Rho: 0.5}
+	c := RateLatency(1, 20)
+	// Closed forms for token bucket vs rate-latency: delay T + sigma/R,
+	// backlog sigma + rho*T.
+	if d := Delay(a, c); math.Abs(d-30) > 1e-9 {
+		t.Errorf("delay %v, want 30", d)
+	}
+	if b := Backlog(a, c); math.Abs(b-20) > 1e-9 {
+		t.Errorf("backlog %v, want 20", b)
+	}
+	// Zero rho: only the burst matters.
+	if d := Delay(TokenBucket{Sigma: 5}, c); math.Abs(d-25) > 1e-9 {
+		t.Errorf("zero-rho delay %v, want 25", d)
+	}
+}
+
+func TestUnstableIsInfinite(t *testing.T) {
+	c := RateLatency(0.25, 10)
+	a := TokenBucket{Sigma: 1, Rho: 0.5}
+	if !math.IsInf(Delay(a, c), 1) || !math.IsInf(Backlog(a, c), 1) {
+		t.Error("rho > R must give infinite bounds")
+	}
+	// rho == R is the boundary case: finite.
+	eq := TokenBucket{Sigma: 1, Rho: 0.25}
+	if math.IsInf(Delay(eq, c), 1) {
+		t.Error("rho == R must stay finite")
+	}
+}
+
+func TestERRCurveFormula(t *testing.T) {
+	cfg := twoFlows()
+	// m = 32, G = (n-1)(2m-1) = 63; flow 0: R = 8/(8+63), T = 126.
+	c := cfg.errCurve(0)
+	if want := 8.0 / 71.0; math.Abs(c.rate-want) > 1e-12 {
+		t.Errorf("ERR rate %v, want %v", c.rate, want)
+	}
+	if got := c.pts[len(c.pts)-1].x; math.Abs(got-126) > 1e-12 {
+		t.Errorf("ERR latency %v, want 126", got)
+	}
+	// A single flow owns the link: no latency, full rate.
+	solo := Config{C: 1, Flows: cfg.Flows[:1]}
+	if c := solo.errCurve(0); c.rate != 1 || len(c.pts) != 1 {
+		t.Errorf("solo ERR curve rate %v pts %v", c.rate, c.pts)
+	}
+}
+
+func TestWRRClassicFormula(t *testing.T) {
+	cfg := twoFlows()
+	// Flow 0: q = 1*8 = 8, Qbar = 2*32 = 64: R = 8/72, T = 128.
+	c := cfg.wrrClassic(0)
+	if want := 8.0 / 72.0; math.Abs(c.rate-want) > 1e-12 {
+		t.Errorf("WRR rate %v, want %v", c.rate, want)
+	}
+	if got := c.pts[len(c.pts)-1].x; math.Abs(got-128) > 1e-12 {
+		t.Errorf("WRR latency %v, want 128", got)
+	}
+}
+
+func TestIWRRCurveFormula(t *testing.T) {
+	cfg := twoFlows()
+	// Flow 0 (w=1) vs cross w=2: K = min(2,0)+1 + [2>=1] + (2-1) = 3,
+	// G = 3*32 = 96: R = 8/104, T = 192.
+	c := cfg.iwrrCurve(0)
+	if want := 8.0 / 104.0; math.Abs(c.rate-want) > 1e-12 {
+		t.Errorf("IWRR rate %v, want %v", c.rate, want)
+	}
+	if got := c.pts[len(c.pts)-1].x; math.Abs(got-192) > 1e-12 {
+		t.Errorf("IWRR latency %v, want 192", got)
+	}
+}
+
+func TestDRRCurveFormula(t *testing.T) {
+	cfg := twoFlows()
+	// Flow 0: Q = 16, Qbar = 32, crossL = 32:
+	// R = 16/48, T = 32*(2 + 16/16) + 32 = 128.
+	c := cfg.drrCurve(0)
+	if want := 16.0 / 48.0; math.Abs(c.rate-want) > 1e-12 {
+		t.Errorf("DRR rate %v, want %v", c.rate, want)
+	}
+	if got := c.pts[len(c.pts)-1].x; math.Abs(got-128) > 1e-12 {
+		t.Errorf("DRR latency %v, want 128", got)
+	}
+}
+
+// The WRR tightened curve must never yield a worse bound than taking
+// the classic curve alone (DelayBound takes the min), and with
+// lightly loaded cross traffic it should be strictly better.
+func TestWRRTightImproves(t *testing.T) {
+	cfg := twoFlows()
+	classic := Delay(cfg.Flows[0].Arrival, cfg.wrrClassic(0))
+	bound := cfg.DelayBound(DiscWRR, 0)
+	if bound > classic+1e-9 {
+		t.Errorf("DelayBound %v exceeds classic-only %v", bound, classic)
+	}
+	if bound >= classic {
+		t.Errorf("tight curve did not improve on classic (%v vs %v)", bound, classic)
+	}
+}
+
+// With an unstable cross flow the arrival cap is useless (infinite
+// backlog bound); the tight curve must fall back to the round caps
+// and the flow's own bound must stay finite.
+func TestWRRTightUnstableCross(t *testing.T) {
+	cfg := twoFlows()
+	cfg.Flows[1].Arrival.Rho = 2 // cross flow overloads the link
+	d := cfg.DelayBound(DiscWRR, 0)
+	if math.IsInf(d, 1) || d <= 0 {
+		t.Errorf("flow 0 bound %v; round-cap isolation must keep it finite", d)
+	}
+}
+
+// Every discipline's bound is monotone nondecreasing in every flow's
+// burst — the property the checker's bound cache relies on.
+func TestBoundsMonotoneInSigma(t *testing.T) {
+	for _, d := range []Discipline{DiscERR, DiscWRR, DiscIWRR, DiscDRR} {
+		cfg := twoFlows()
+		base := cfg.DelayBound(d, 0)
+		for grow := 0; grow < 2; grow++ {
+			cfg.Flows[grow].Arrival.Sigma *= 8
+			if got := cfg.DelayBound(d, 0); got < base-1e-9 {
+				t.Errorf("%s: growing flow %d's burst shrank flow 0's bound: %v -> %v",
+					d, grow, base, got)
+			}
+		}
+	}
+}
+
+func TestGuaranteedRatesSumWithinLink(t *testing.T) {
+	cfg := twoFlows()
+	for _, d := range []Discipline{DiscERR, DiscWRR, DiscIWRR, DiscDRR} {
+		var sum float64
+		for i := range cfg.Flows {
+			r := cfg.GuaranteedRate(d, i)
+			if r <= 0 {
+				t.Fatalf("%s flow %d guaranteed rate %v", d, i, r)
+			}
+			sum += r
+		}
+		if sum > cfg.C+1e-9 {
+			t.Errorf("%s guaranteed rates sum to %v > link rate", d, sum)
+		}
+	}
+}
+
+func TestParseDiscipline(t *testing.T) {
+	for name, want := range map[string]Discipline{
+		"ERR": DiscERR, "WRR": DiscWRR, "IWRR": DiscIWRR,
+		"DRR": DiscDRR, "DRR-OPT": DiscDRR,
+	} {
+		got, err := ParseDiscipline(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDiscipline(%q) = %v, %v", name, got, err)
+		}
+	}
+	for _, name := range []string{"FCFS", "WERR", "SCFQ", ""} {
+		if _, err := ParseDiscipline(name); err == nil {
+			t.Errorf("ParseDiscipline(%q) accepted", name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	assertPanics(t, "C = 0", func() {
+		(&Config{Flows: []FlowSpec{{LMin: 1, LMax: 1}}}).validate()
+	})
+	assertPanics(t, "LMax < LMin", func() {
+		cfg := Config{C: 1, Flows: []FlowSpec{{LMin: 8, LMax: 4}}}
+		cfg.validate()
+	})
+	assertPanics(t, "weight 0", func() {
+		cfg := Config{C: 1, Flows: []FlowSpec{{LMin: 1, LMax: 1}}}
+		cfg.ServiceCurves(DiscWRR, 0)
+	})
+	assertPanics(t, "quantum 0", func() {
+		cfg := Config{C: 1, Flows: []FlowSpec{{Weight: 1, LMin: 1, LMax: 1}}}
+		cfg.ServiceCurves(DiscDRR, 0)
+	})
+}
+
+// OptimizeQuanta must do at least as well as splitting the frame
+// uniformly, on the min-max delay-bound objective it optimises.
+func TestOptimizeQuantaBeatsUniform(t *testing.T) {
+	cfg := Config{C: 1, Flows: []FlowSpec{
+		{Quantum: 0, LMin: 8, LMax: 16, Arrival: TokenBucket{Sigma: 16, Rho: 0.05}},
+		{Quantum: 0, LMin: 16, LMax: 32, Arrival: TokenBucket{Sigma: 32, Rho: 0.10}},
+		{Quantum: 0, LMin: 32, LMax: 64, Arrival: TokenBucket{Sigma: 64, Rho: 0.30}},
+		{Quantum: 0, LMin: 8, LMax: 16, Arrival: TokenBucket{Sigma: 16, Rho: 0.20}},
+	}}
+	const budget = 512
+	objective := func(q []int64) float64 {
+		worst := 0.0
+		for i := range cfg.Flows {
+			cfg.Flows[i].Quantum = q[i]
+		}
+		for i := range cfg.Flows {
+			worst = math.Max(worst, cfg.DelayBound(DiscDRR, i))
+		}
+		return worst
+	}
+	opt := OptimizeQuanta(cfg, budget)
+	var sum int64
+	for i, q := range opt {
+		if q < int64(cfg.Flows[i].LMax) {
+			t.Fatalf("flow %d quantum %d below LMax %d", i, q, cfg.Flows[i].LMax)
+		}
+		sum += q
+	}
+	if sum > budget {
+		t.Fatalf("quanta sum %d exceeds budget %d", sum, budget)
+	}
+	uniform := []int64{128, 128, 128, 128}
+	if got, base := objective(opt), objective(uniform); got > base+1e-9 {
+		t.Errorf("optimised objective %v worse than uniform %v", got, base)
+	}
+	assertPanics(t, "budget below LMax sum", func() { OptimizeQuanta(cfg, 100) })
+}
+
+// OptimizeQuanta is deterministic: identical inputs, identical quanta.
+func TestOptimizeQuantaDeterministic(t *testing.T) {
+	cfg := twoFlows()
+	a := OptimizeQuanta(cfg, 256)
+	b := OptimizeQuanta(cfg, 256)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic quanta: %v vs %v", a, b)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

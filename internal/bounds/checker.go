@@ -1,0 +1,252 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/check"
+	"repro/internal/engine"
+	"repro/internal/flit"
+)
+
+// Reporter receives violation reports. check.Recorder satisfies it,
+// so bounds violations land in the same structured, cycle-stamped
+// store (and obs counter) as the Lemma 1 invariants.
+type Reporter interface {
+	Report(cycle int64, invariant string, flow int, format string, argv ...any)
+}
+
+// DefaultEps is the slack added to a bound before declaring a
+// violation, absorbing float rounding in the curve arithmetic.
+// Observed values are integers and bounds are O(1e0..1e5), so any
+// true violation clears this by whole cycles.
+const DefaultEps = 1e-6
+
+// Checker validates every observed per-flow delay and backlog against
+// the analytic bound for the configuration. It attaches to the engine
+// callbacks (chaining any already-installed observer), measures each
+// flow's tightest token-bucket burst online at the declared envelope
+// rate, and reports breaches through a Reporter.
+//
+// Bounds depend on the measured bursts, which only grow, and every
+// bound is monotone nondecreasing in every flow's burst. The checker
+// exploits that: it caches the bound computed at the last burst
+// estimate as a fast-path threshold, and on an apparent breach
+// recomputes with the current estimates before reporting. A stale
+// (smaller) cached bound can cause a spurious recompute, never a
+// missed violation.
+//
+// One Checker per simulation; not safe for concurrent use.
+type Checker struct {
+	cfg  Config
+	disc Discipline
+	rep  Reporter
+	eps  float64
+
+	// Streaming tightest-burst envelope per flow: with cumulative
+	// arrivals A and declared rate rho, the tightest sigma so far is
+	// max over arrival instants t of A(t+) - rho*t - min earlier
+	// deviation. minDev starts at 0 (the empty prefix at t = 0).
+	arrived []float64
+	minDev  []float64
+	sigma   []float64
+
+	backlog    []int64
+	maxBacklog []int64
+	maxDelay   []int64
+	departs    []int64
+
+	delayCache   []float64
+	backlogCache []float64
+	delayViol    []int64
+	backlogViol  []int64
+}
+
+// NewChecker builds a checker for the named scheduler over cfg. The
+// Sigma fields of cfg's envelopes seed the burst estimates (zero is
+// fine: the estimator grows them from observed arrivals).
+func NewChecker(cfg Config, schedName string, rep Reporter) (*Checker, error) {
+	disc, err := ParseDiscipline(schedName)
+	if err != nil {
+		return nil, err
+	}
+	cfg.validate()
+	if rep == nil {
+		return nil, fmt.Errorf("bounds: checker needs a Reporter")
+	}
+	n := len(cfg.Flows)
+	// Private copy of the flow table: bound computations substitute
+	// the live burst estimates into it.
+	cfg.Flows = append([]FlowSpec(nil), cfg.Flows...)
+	c := &Checker{
+		cfg:          cfg,
+		disc:         disc,
+		rep:          rep,
+		eps:          DefaultEps,
+		arrived:      make([]float64, n),
+		minDev:       make([]float64, n),
+		sigma:        make([]float64, n),
+		backlog:      make([]int64, n),
+		maxBacklog:   make([]int64, n),
+		maxDelay:     make([]int64, n),
+		departs:      make([]int64, n),
+		delayCache:   make([]float64, n),
+		backlogCache: make([]float64, n),
+		delayViol:    make([]int64, n),
+		backlogViol:  make([]int64, n),
+	}
+	for i := range c.sigma {
+		c.sigma[i] = math.Max(cfg.Flows[i].Arrival.Sigma, 0)
+		c.delayCache[i] = -1 // force a recompute on first use
+		c.backlogCache[i] = -1
+	}
+	return c, nil
+}
+
+// Wire chains the checker onto the engine config's OnInject and
+// OnDeparture callbacks, preserving any observer already installed.
+func (c *Checker) Wire(ec *engine.Config) {
+	prevInj := ec.OnInject
+	ec.OnInject = func(p flit.Packet, cycle int64) {
+		if prevInj != nil {
+			prevInj(p, cycle)
+		}
+		c.OnInject(p, cycle)
+	}
+	prevDep := ec.OnDeparture
+	ec.OnDeparture = func(p flit.Packet, cycle int64, occupancy int64) {
+		if prevDep != nil {
+			prevDep(p, cycle, occupancy)
+		}
+		c.OnDeparture(p, cycle)
+	}
+}
+
+// OnInject feeds an admitted packet to the envelope estimator and
+// checks the flow's backlog against its bound. Exposed for callers
+// that drive the engine callbacks themselves.
+func (c *Checker) OnInject(p flit.Packet, cycle int64) {
+	f := p.Flow
+	if f < 0 || f >= len(c.cfg.Flows) {
+		panic(fmt.Sprintf("bounds: injected flow %d outside configured flows [0, %d)", f, len(c.cfg.Flows)))
+	}
+	spec := c.cfg.Flows[f]
+	if p.Length > spec.LMax || p.Length < spec.LMin {
+		c.rep.Report(cycle, check.InvBacklogBound, f,
+			"packet length %d outside declared range [%d, %d]; bounds assume the declaration",
+			p.Length, spec.LMin, spec.LMax)
+	}
+	t := float64(cycle)
+	dev := c.arrived[f] - spec.Arrival.Rho*t
+	if dev < c.minDev[f] {
+		c.minDev[f] = dev
+	}
+	c.arrived[f] += float64(p.Length)
+	if s := c.arrived[f] - spec.Arrival.Rho*t - c.minDev[f]; s > c.sigma[f] {
+		c.sigma[f] = s
+	}
+
+	c.backlog[f] += int64(p.Length)
+	if c.backlog[f] > c.maxBacklog[f] {
+		c.maxBacklog[f] = c.backlog[f]
+	}
+	b := float64(c.backlog[f])
+	if b > c.backlogCache[f]+c.eps {
+		c.backlogCache[f] = c.bound(f, false)
+		if b > c.backlogCache[f]+c.eps {
+			c.backlogViol[f]++
+			c.rep.Report(cycle, check.InvBacklogBound, f,
+				"backlog %d flits exceeds %s bound %.3f (burst estimate %.3f, rate %.4f)",
+				c.backlog[f], c.disc, c.backlogCache[f], c.sigma[f], spec.Arrival.Rho)
+		}
+	}
+}
+
+// OnDeparture checks a completed packet's delay against the flow's
+// bound. Exposed for callers driving the callbacks themselves.
+func (c *Checker) OnDeparture(p flit.Packet, cycle int64) {
+	f := p.Flow
+	if f < 0 || f >= len(c.cfg.Flows) {
+		panic(fmt.Sprintf("bounds: departed flow %d outside configured flows [0, %d)", f, len(c.cfg.Flows)))
+	}
+	c.departs[f]++
+	c.backlog[f] -= int64(p.Length)
+	if c.backlog[f] < 0 {
+		c.backlog[f] = 0 // departure of a packet injected before Wire
+	}
+	// Inclusive sojourn: a length-L packet arriving into an empty
+	// system at cycle t finishes at t+L-1, so delay L == the
+	// continuous-time L/C bound at C = 1.
+	delay := cycle - p.Arrival + 1
+	if delay > c.maxDelay[f] {
+		c.maxDelay[f] = delay
+	}
+	d := float64(delay)
+	if d > c.delayCache[f]+c.eps {
+		c.delayCache[f] = c.bound(f, true)
+		if d > c.delayCache[f]+c.eps {
+			c.delayViol[f]++
+			c.rep.Report(cycle, check.InvDelayBound, f,
+				"packet %d delay %d cycles exceeds %s bound %.3f (burst estimate %.3f, rate %.4f)",
+				p.ID, delay, c.disc, c.delayCache[f], c.sigma[f], c.cfg.Flows[f].Arrival.Rho)
+		}
+	}
+}
+
+// bound computes the flow's current delay (or backlog) bound from the
+// live burst estimates.
+func (c *Checker) bound(f int, delay bool) float64 {
+	for j := range c.cfg.Flows {
+		c.cfg.Flows[j].Arrival.Sigma = c.sigma[j]
+	}
+	if delay {
+		return c.cfg.DelayBound(c.disc, f)
+	}
+	return c.cfg.BacklogBound(c.disc, f)
+}
+
+// Violations returns the total number of delay and backlog breaches
+// detected across all flows.
+func (c *Checker) Violations() int64 {
+	var n int64
+	for f := range c.delayViol {
+		n += c.delayViol[f] + c.backlogViol[f]
+	}
+	return n
+}
+
+// FlowReport is the per-flow outcome of a checked run: the final
+// bounds (at the measured bursts) next to the observed extremes.
+type FlowReport struct {
+	Flow       int     `json:"flow"`
+	Rho        float64 `json:"rho"`
+	SigmaHat   float64 `json:"sigma_hat"`
+	Rate       float64 `json:"rate"`
+	DelayBound float64 `json:"delay_bound"`
+	MaxDelay   int64   `json:"max_delay"`
+	BackBound  float64 `json:"backlog_bound"`
+	MaxBacklog int64   `json:"max_backlog"`
+	Departures int64   `json:"departures"`
+	Violations int64   `json:"violations"`
+}
+
+// Report returns the per-flow summary rows, bounds evaluated at the
+// final burst estimates.
+func (c *Checker) Report() []FlowReport {
+	out := make([]FlowReport, len(c.cfg.Flows))
+	for f := range c.cfg.Flows {
+		out[f] = FlowReport{
+			Flow:       f,
+			Rho:        c.cfg.Flows[f].Arrival.Rho,
+			SigmaHat:   c.sigma[f],
+			Rate:       c.cfg.GuaranteedRate(c.disc, f),
+			DelayBound: c.bound(f, true),
+			MaxDelay:   c.maxDelay[f],
+			BackBound:  c.bound(f, false),
+			MaxBacklog: c.maxBacklog[f],
+			Departures: c.departs[f],
+			Violations: c.delayViol[f] + c.backlogViol[f],
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/flit"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// countReporter tallies reports per invariant.
+type countReporter struct {
+	n    int
+	last string
+}
+
+func (c *countReporter) Report(cycle int64, invariant string, flow int, format string, argv ...any) {
+	c.n++
+	c.last = invariant
+}
+
+// TestEnvelopeEstimator drives OnInject directly and checks the
+// streaming tightest-burst measurement against hand-computed values.
+func TestEnvelopeEstimator(t *testing.T) {
+	cfg := Config{C: 1, Flows: []FlowSpec{
+		{Weight: 1, LMin: 1, LMax: 100, Arrival: TokenBucket{Sigma: 0, Rho: 1}},
+	}}
+	c, err := NewChecker(cfg, "WRR", &countReporter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At rate 1, a 5-flit packet at t=0 needs burst 5.
+	c.OnInject(flit.Packet{Flow: 0, Length: 5}, 0)
+	if got := c.Report()[0].SigmaHat; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("sigma after first packet %v, want 5", got)
+	}
+	// 10 idle cycles bank 10 tokens; another 5-flit packet fits the
+	// same burst.
+	c.OnInject(flit.Packet{Flow: 0, Length: 5}, 10)
+	if got := c.Report()[0].SigmaHat; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("sigma after banked packet %v, want 5", got)
+	}
+	// A back-to-back packet at the same cycle forces a larger burst:
+	// deviation is now 10+7 - 10 - min(-5) ... = 12.
+	c.OnInject(flit.Packet{Flow: 0, Length: 7}, 10)
+	if got := c.Report()[0].SigmaHat; math.Abs(got-12) > 1e-9 {
+		t.Fatalf("sigma after burst %v, want 12", got)
+	}
+}
+
+func TestNewCheckerValidation(t *testing.T) {
+	cfg := Config{C: 1, Flows: []FlowSpec{{Weight: 1, LMin: 1, LMax: 8}}}
+	if _, err := NewChecker(cfg, "FCFS", &countReporter{}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := NewChecker(cfg, "WRR", nil); err == nil {
+		t.Error("nil reporter accepted")
+	}
+}
+
+// checkedRun builds a 2-flow engine with the given scheduler, wires a
+// checker declaring WRR service, and runs it under Bernoulli load.
+// load0 is flow 0's actual arrival rate in flits/cycle (flow 1 stays
+// at 0.7 of its guaranteed rate); declared envelopes are always 0.9
+// of the guaranteed rate, so an overloaded flow 0 only inflates its
+// own measured burst — and with it its own bound — never flow 1's.
+func checkedRun(t *testing.T, s sched.Scheduler, cycles int64, load0 float64) (*Checker, *countReporter) {
+	t.Helper()
+	cfg := Config{C: 1, Flows: []FlowSpec{
+		{Weight: 1, LMin: 4, LMax: 16},
+		{Weight: 1, LMin: 4, LMax: 16},
+	}}
+	for i := range cfg.Flows {
+		r := cfg.GuaranteedRate(DiscWRR, i)
+		cfg.Flows[i].Arrival = TokenBucket{Sigma: 16, Rho: 0.9 * r}
+	}
+	rep := &countReporter{}
+	chk, err := NewChecker(cfg, "WRR", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	loads := []float64{load0, 0.7 * cfg.GuaranteedRate(DiscWRR, 1)}
+	var sources []traffic.Source
+	for i, f := range cfg.Flows {
+		mean := float64(f.LMin+f.LMax) / 2
+		sources = append(sources, traffic.NewBernoulli(i, loads[i]/mean, rng.NewUniform(f.LMin, f.LMax), src.Split()))
+	}
+	ecfg := engine.Config{Flows: 2, Scheduler: s, Source: traffic.NewMulti(sources...)}
+	chk.Wire(&ecfg)
+	e, err := engine.NewEngine(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(cycles)
+	return chk, rep
+}
+
+// A correct WRR run must produce zero violations.
+func TestCheckerCleanWRRRun(t *testing.T) {
+	cleanLoad := 0.7 * (4.0 / 20.0) // 0.7 of flow 0's guaranteed rate
+	chk, rep := checkedRun(t, sched.NewWRR(nil), 50_000, cleanLoad)
+	if chk.Violations() != 0 || rep.n != 0 {
+		t.Fatalf("clean WRR run reported %d violations", chk.Violations())
+	}
+	reports := chk.Report()
+	for _, fr := range reports {
+		if fr.Departures == 0 {
+			t.Fatalf("flow %d saw no departures; the run exercised nothing", fr.Flow)
+		}
+		if math.IsInf(fr.DelayBound, 1) {
+			t.Fatalf("flow %d delay bound infinite in a stable config", fr.Flow)
+		}
+		if float64(fr.MaxDelay) > fr.DelayBound {
+			t.Fatalf("flow %d max delay %d above bound %v yet unreported",
+				fr.Flow, fr.MaxDelay, fr.DelayBound)
+		}
+	}
+}
+
+// starver is the seeded mutation: it claims to be WRR but always
+// serves the lowest backlogged flow — strict priority. Flow 1's
+// delays then diverge, and the harness must catch them crossing the
+// WRR bound.
+type starver struct {
+	queued  []int
+	current int
+}
+
+func newStarver(n int) *starver { return &starver{queued: make([]int, n), current: -1} }
+
+func (s *starver) Name() string { return "WRR" } // lies, deliberately
+
+func (s *starver) OnArrival(flow int, wasEmpty bool) { s.queued[flow]++ }
+
+func (s *starver) NextFlow() int {
+	for f, n := range s.queued {
+		if n > 0 {
+			s.current = f
+			return f
+		}
+	}
+	panic("starver: no backlogged flow")
+}
+
+func (s *starver) OnPacketDone(flow int, cost int64, nowEmpty bool) {
+	s.queued[flow]--
+	s.current = -1
+}
+
+// TestCheckerDetectsStarvation proves the harness can fail: a broken
+// scheduler must produce delay-bound violations, reported under the
+// bounds.delay invariant.
+func TestCheckerDetectsStarvation(t *testing.T) {
+	// Flow 0 offers 0.9 of the whole link: under honest WRR flow 1
+	// would still get its round-robin share, but the mutant lets flow
+	// 0's long busy periods starve flow 1 past its (finite) bound.
+	chk, rep := checkedRun(t, newStarver(2), 50_000, 0.9)
+	if chk.Violations() == 0 {
+		t.Fatal("strict-priority mutant produced no bounds violations; the harness cannot detect a broken scheduler")
+	}
+	if rep.last != "bounds.delay" && rep.last != "bounds.backlog" {
+		t.Fatalf("violations reported under %q", rep.last)
+	}
+	// The favoured flow must not be blamed: flow 0's service only
+	// improved under the mutant.
+	for _, fr := range chk.Report() {
+		if fr.Flow == 0 && fr.Violations != 0 {
+			t.Fatalf("flow 0 (the favoured flow) charged with %d violations", fr.Violations)
+		}
+	}
+}
+
+// Out-of-range lengths are reported, not silently folded into the
+// envelope.
+func TestCheckerFlagsDeclarationBreach(t *testing.T) {
+	cfg := Config{C: 1, Flows: []FlowSpec{{Weight: 1, LMin: 4, LMax: 8, Arrival: TokenBucket{Sigma: 8, Rho: 0.5}}}}
+	rep := &countReporter{}
+	chk, err := NewChecker(cfg, "WRR", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk.OnInject(flit.Packet{Flow: 0, Length: 32}, 0)
+	if rep.n == 0 {
+		t.Fatal("length outside the declared range went unreported")
+	}
+}

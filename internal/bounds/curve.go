@@ -1,0 +1,143 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// TokenBucket is the affine arrival curve alpha(t) = Sigma + Rho*t
+// (t > 0): a flow's cumulative arrivals in any interval of length t
+// never exceed alpha(t). Sigma is the burst in flits, Rho the
+// sustained rate in flits/cycle.
+type TokenBucket struct {
+	Sigma float64 `json:"sigma"`
+	Rho   float64 `json:"rho"`
+}
+
+type point struct{ x, y float64 }
+
+// Curve is a nondecreasing piecewise-linear function on [0, inf),
+// used for strict service curves beta(t): in any interval of length t
+// during which the flow is continuously backlogged, it receives at
+// least beta(t) flits of service. Points are (x, y) corners with
+// nondecreasing x and y; two points sharing an x encode an upward
+// jump; beyond the last corner the curve continues with slope rate.
+type Curve struct {
+	pts  []point
+	rate float64
+}
+
+// newCurve validates the corner list (first corner at x = 0, both
+// coordinates nondecreasing, slope >= 0) and returns the curve.
+// Violations are programmer errors and panic.
+func newCurve(pts []point, rate float64) Curve {
+	if len(pts) == 0 || pts[0].x != 0 {
+		panic("bounds: curve must start at x = 0")
+	}
+	for i, p := range pts {
+		if math.IsNaN(p.x) || math.IsNaN(p.y) || p.x < 0 || p.y < 0 {
+			panic(fmt.Sprintf("bounds: invalid curve corner (%g, %g)", p.x, p.y))
+		}
+		if i > 0 && (p.x < pts[i-1].x || p.y < pts[i-1].y) {
+			panic(fmt.Sprintf("bounds: curve corners not nondecreasing at %d", i))
+		}
+	}
+	if math.IsNaN(rate) || rate < 0 {
+		panic(fmt.Sprintf("bounds: invalid curve rate %g", rate))
+	}
+	return Curve{pts: pts, rate: rate}
+}
+
+// RateLatency returns the rate-latency service curve
+// beta(t) = R * max(0, t - T).
+func RateLatency(R, T float64) Curve {
+	if T > 0 {
+		return newCurve([]point{{0, 0}, {T, 0}}, R)
+	}
+	return newCurve([]point{{0, 0}}, R)
+}
+
+// invAt returns the smallest x with curve value >= level (the
+// pseudo-inverse), or +inf when the curve never reaches level.
+func (c Curve) invAt(level float64) float64 {
+	prev := c.pts[0]
+	if level <= prev.y {
+		return 0
+	}
+	for _, p := range c.pts[1:] {
+		if p.y >= level {
+			if p.x == prev.x {
+				return p.x // jump through the level
+			}
+			return prev.x + (p.x-prev.x)*(level-prev.y)/(p.y-prev.y)
+		}
+		prev = p
+	}
+	if c.rate <= 0 {
+		return math.Inf(1)
+	}
+	return prev.x + (level-prev.y)/c.rate
+}
+
+// Delay returns the horizontal deviation h(alpha, beta): the classic
+// network-calculus delay bound for a flow with arrival curve alpha
+// served with (strict) service curve beta, in cycles. +inf when the
+// long-run service rate cannot keep up with Rho.
+//
+// Both curves are piecewise linear, so the deviation
+// g(t) = beta^-1(alpha(t)) - t is piecewise linear in t and its
+// supremum is attained at t = 0, at a t where alpha crosses a corner
+// level of beta, or in the final-rate regime (one candidate level
+// past the last corner covers it: beyond that point g is linear, and
+// the stability check rules out growth).
+func Delay(a TokenBucket, c Curve) float64 {
+	if a.Rho > c.rate {
+		return math.Inf(1)
+	}
+	sigma := math.Max(a.Sigma, 0)
+	best := c.invAt(sigma) // t = 0
+	if a.Rho > 0 {
+		for _, p := range c.pts {
+			if p.y > sigma {
+				t := (p.y - sigma) / a.Rho
+				best = math.Max(best, c.invAt(p.y)-t)
+			}
+		}
+		last := math.Max(sigma, c.pts[len(c.pts)-1].y) + 1
+		t := (last - sigma) / a.Rho
+		best = math.Max(best, c.invAt(last)-t)
+	}
+	return math.Max(best, 0)
+}
+
+// Backlog returns the vertical deviation v(alpha, beta): the bound on
+// the flow's backlog in flits. +inf when the long-run service rate
+// cannot keep up with Rho.
+//
+// alpha - beta is piecewise linear with corners only at beta's
+// corners (alpha is affine), so the supremum is attained at a corner
+// of beta; at an upward jump the lower corner dominates and both are
+// enumerated. Beyond the last corner the difference is nonincreasing
+// by the stability check.
+func Backlog(a TokenBucket, c Curve) float64 {
+	if a.Rho > c.rate {
+		return math.Inf(1)
+	}
+	sigma := math.Max(a.Sigma, 0)
+	best := 0.0
+	for _, p := range c.pts {
+		best = math.Max(best, sigma+a.Rho*p.x-p.y)
+	}
+	return best
+}
+
+// minOver returns the tightest bound across alternative valid service
+// curves: every curve in cs is a correct lower bound on service, so
+// the smallest bound any of them yields is itself a correct bound.
+func minOver(cs []Curve, bound func(Curve) float64) float64 {
+	best := math.Inf(1)
+	for _, c := range cs {
+		best = math.Min(best, bound(c))
+	}
+	return best
+}

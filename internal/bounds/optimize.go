@@ -1,0 +1,130 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptimizeQuanta selects per-flow DRR quanta that minimise the worst
+// per-flow delay bound, subject to Q_i >= LMax_i (the classic O(1)
+// provisioning — a visit always fits the head packet) and
+// sum Q_i <= budget (the frame size, which caps the round length and
+// with it every flow's latency term).
+//
+// The DRR-convexity analysis (Mukherjee, Kuri & Singh, "Optimal
+// quantum allocation in DRR") shows each flow's bound is convex and
+// decreasing in its own quantum and increasing in the others', so the
+// min-max optimum spends the whole frame and equalises the binding
+// flows' bounds. The search here is a deterministic greedy fill
+// (repeatedly granting budget to the currently-worst flow) followed by
+// pairwise transfers with a halving step — no randomness, so results
+// are reproducible across runs and platforms.
+//
+// cfg.Flows' Quantum fields are ignored as input; the returned slice
+// holds the chosen quanta. Unstable flows compare by their
+// load-to-guaranteed-rate ratio so the search still has a gradient to
+// follow before any bound becomes finite.
+func OptimizeQuanta(cfg Config, budget int64) []int64 {
+	cfg.validate()
+	n := len(cfg.Flows)
+	if n == 0 {
+		return nil
+	}
+	quanta := make([]int64, n)
+	var used int64
+	for i, f := range cfg.Flows {
+		quanta[i] = int64(f.LMax)
+		used += quanta[i]
+	}
+	if used > budget {
+		panic(fmt.Sprintf("bounds: quantum budget %d cannot cover sum of LMax %d", budget, used))
+	}
+	// Work on a private copy of the flow table so quantum trials do
+	// not mutate the caller's config.
+	cfg.Flows = append([]FlowSpec(nil), cfg.Flows...)
+
+	// Greedy fill: grant the remaining budget chunk by chunk to the
+	// flow whose bound is currently worst.
+	remaining := budget - used
+	step := budget / 16
+	if step < 1 {
+		step = 1
+	}
+	for remaining > 0 {
+		c := step
+		if c > remaining {
+			c = remaining
+		}
+		keys := cfg.quantaKeys(quanta)
+		quanta[argmax(keys)] += c
+		remaining -= c
+	}
+
+	// Pairwise refinement: move step flits from a donor to the worst
+	// flow while that lowers the objective, halving the step.
+	for step := budget / 8; step >= 1; step /= 2 {
+		for iter := 0; iter < 8*n; iter++ {
+			keys := cfg.quantaKeys(quanta)
+			worst := argmax(keys)
+			cur := keys[worst]
+			improvedTo, donor := cur, -1
+			for d := 0; d < n; d++ {
+				if d == worst || quanta[d]-step < int64(cfg.Flows[d].LMax) {
+					continue
+				}
+				quanta[d] -= step
+				quanta[worst] += step
+				if k := maxOf(cfg.quantaKeys(quanta)); k < improvedTo {
+					improvedTo, donor = k, d
+				}
+				quanta[d] += step
+				quanta[worst] -= step
+			}
+			if donor < 0 {
+				break
+			}
+			quanta[donor] -= step
+			quanta[worst] += step
+		}
+	}
+	return quanta
+}
+
+// quantaKeys returns the per-flow objective keys for a quantum
+// assignment: the delay bound when finite, else a huge surrogate
+// ordered by how overloaded the flow is (rho over guaranteed rate).
+func (cfg *Config) quantaKeys(quanta []int64) []float64 {
+	for i := range cfg.Flows {
+		cfg.Flows[i].Quantum = quanta[i]
+	}
+	keys := make([]float64, len(cfg.Flows))
+	for i := range cfg.Flows {
+		d := cfg.DelayBound(DiscDRR, i)
+		if math.IsInf(d, 1) {
+			r := cfg.GuaranteedRate(DiscDRR, i)
+			d = 1e18 * (1 + cfg.Flows[i].Arrival.Rho/r)
+		}
+		keys[i] = d
+	}
+	return keys
+}
+
+// argmax returns the index of the largest key, lowest index winning
+// ties (determinism).
+func argmax(keys []float64) int {
+	best := 0
+	for i, k := range keys {
+		if k > keys[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxOf(keys []float64) float64 {
+	m := math.Inf(-1)
+	for _, k := range keys {
+		m = math.Max(m, k)
+	}
+	return m
+}

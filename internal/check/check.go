@@ -58,6 +58,12 @@ const (
 	InvFIFO         = "flow.fifo"
 	InvStream       = "flit.stream"
 	InvWatchdog     = "progress.watchdog"
+
+	// Reported by the analytic-bounds harness (internal/bounds): a
+	// packet's observed delay, or a flow's observed backlog, exceeded
+	// the network-calculus bound computed for the configuration.
+	InvDelayBound   = "bounds.delay"
+	InvBacklogBound = "bounds.backlog"
 )
 
 // Violation is one detected invariant breach. It implements error.

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestRunBoundsClean runs a scaled-down sweep over every discipline
+// and requires zero violations — the tier-1 version of the CI gate.
+func TestRunBoundsClean(t *testing.T) {
+	p := DefaultBoundsParams()
+	p.FlowCounts = []int{4}
+	p.Cycles = 10_000
+	p.Workers = 1
+	res, err := RunBounds(p)
+	if err != nil {
+		t.Fatalf("bounds sweep failed: %v", err)
+	}
+	if got := res.Violations(); got != 0 {
+		t.Fatalf("%d bounds violations on a clean sweep", got)
+	}
+	if len(res.Cells) != len(BoundsSchedulers) {
+		t.Fatalf("%d cells, want %d", len(res.Cells), len(BoundsSchedulers))
+	}
+	for _, c := range res.Cells {
+		var departs int64
+		for _, fr := range c.Reports {
+			departs += fr.Departures
+		}
+		if departs == 0 {
+			t.Errorf("%s cell saw no departures; nothing was checked", c.Scheduler)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range BoundsSchedulers {
+		if !strings.Contains(out, s) {
+			t.Errorf("rendered output missing %s section", s)
+		}
+	}
+}
+
+// The bounds formulas assume fault-free arrivals; the runner must
+// refuse a -faults spec instead of silently reporting bogus
+// violations.
+func TestRunBoundsRejectsFaults(t *testing.T) {
+	p := DefaultBoundsParams()
+	p.Faults = "malformed(kind=zerolen,p=0.05)"
+	if _, err := RunBounds(p); err == nil {
+		t.Fatal("faulted bounds sweep accepted")
+	}
+}
+
+// TestDRRGoldenUnderMalformedFaults pins the rejected-injection
+// audit end to end: zerolen/badflow fault packets are refused at the
+// injection point before any scheduler callback, so a DRR run under
+// them is byte-identical to the fault-free run — the LengthAware
+// length FIFO never desyncs.
+func TestDRRGoldenUnderMalformedFaults(t *testing.T) {
+	run := func(spec string) *SimResult {
+		cfg := backloggedCfg(3, 20_000, sched.NewDRR(64, nil), 11)
+		cfg.FaultSpec = spec
+		cfg.FaultSeed = 5
+		res, err := RunSim(cfg)
+		if err != nil {
+			t.Fatalf("RunSim(%q): %v", spec, err)
+		}
+		return res
+	}
+	clean := run("")
+	faulted := run("malformed(kind=zerolen,p=0.05);malformed(kind=badflow,p=0.05)")
+	if faulted.Faults.Malformed == 0 || faulted.Rejected == 0 {
+		t.Fatalf("faults never fired: %+v rejected=%d", faulted.Faults, faulted.Rejected)
+	}
+	for f := 0; f < 3; f++ {
+		if clean.Throughput.Flits(f) != faulted.Throughput.Flits(f) {
+			t.Fatalf("flow %d throughput differs under rejected-only faults: %d vs %d",
+				f, clean.Throughput.Flits(f), faulted.Throughput.Flits(f))
+		}
+	}
+}

@@ -158,3 +158,13 @@ func (r *AblationSurplusResetResult) RunInfo() obs.RunInfo {
 		Cycles:     2 * r.Params.Cycles,
 	}
 }
+
+// RunInfo implements the manifest hook.
+func (r *BoundsResult) RunInfo() obs.RunInfo {
+	return obs.RunInfo{
+		Experiment: "bounds",
+		Seeds:      []uint64{r.Params.Seed},
+		Workers:    exec.Workers(r.Params.Workers),
+		Cycles:     int64(len(r.Cells)) * r.Params.Cycles,
+	}
+}

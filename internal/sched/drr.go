@@ -1,6 +1,10 @@
 package sched
 
-import "repro/internal/queue"
+import (
+	"fmt"
+
+	"repro/internal/queue"
+)
 
 // DRR is Deficit Round Robin (Shreedhar & Varghese, ToN 1996), the
 // O(1) discipline closest to ERR in the paper's Table 1. Each flow
@@ -20,6 +24,7 @@ import "repro/internal/queue"
 // quanta are accepted (a visit may then transmit nothing while the
 // deficit builds up), costing extra list rotations.
 type DRR struct {
+	name    string
 	quantum func(flow int) int64
 	active  queue.ActiveList
 	// deficit and lengths are indexed by flow id and grown on demand
@@ -31,18 +36,38 @@ type DRR struct {
 }
 
 // NewDRR returns a DRR scheduler with the given per-flow quantum
-// function; nil means the fixed quantum q for all flows.
+// function; nil means the fixed quantum q for all flows. A perFlow
+// function must return >= 1 for every flow; it is validated at every
+// use (a zero or negative quantum would spin NextFlow's rotate loop
+// forever, since the deficit would never grow to fit a packet).
 func NewDRR(q int64, perFlow func(flow int) int64) *DRR {
 	if perFlow == nil {
 		if q < 1 {
-			panic("sched: DRR quantum < 1")
+			panic(fmt.Sprintf("sched: DRR quantum %d < 1", q))
 		}
 		perFlow = func(int) int64 { return q }
 	}
 	return &DRR{
+		name:    "DRR",
 		quantum: perFlow,
 		current: -1,
 	}
+}
+
+// NewOptDRR returns a DRR scheduler named "DRR-OPT" using the given
+// per-flow quanta, as computed by bounds.OptimizeQuanta (quantum
+// selection minimising the worst normalised delay bound, after the
+// DRR-convexity analysis of Mukherjee, Kuri & Singh). It panics on a
+// flow id outside the quanta table, naming the flow.
+func NewOptDRR(quanta []int64) *DRR {
+	d := NewDRR(0, func(flow int) int64 {
+		if flow >= len(quanta) {
+			panic(fmt.Sprintf("sched: DRR-OPT has no quantum for flow %d (table has %d flows)", flow, len(quanta)))
+		}
+		return quanta[flow]
+	})
+	d.name = "DRR-OPT"
+	return d
 }
 
 // grow ensures the per-flow tables cover flow.
@@ -59,7 +84,7 @@ func (d *DRR) grow(flow int) {
 }
 
 // Name implements Scheduler.
-func (d *DRR) Name() string { return "DRR" }
+func (d *DRR) Name() string { return d.name }
 
 // OnArrival implements Scheduler.
 func (d *DRR) OnArrival(flow int, wasEmpty bool) {
@@ -101,11 +126,15 @@ func (d *DRR) NextFlow() int {
 		return d.current // continue the current service opportunity
 	}
 	// Rotate until some flow's head packet fits its deficit. Each
-	// visit adds a quantum, so the loop always terminates; with the
-	// standard Quantum >= Max provisioning it never iterates.
+	// visit adds a quantum >= 1, so the loop always terminates; with
+	// the standard Quantum >= Max provisioning it never iterates.
 	for {
 		flow := d.active.PopHead()
-		d.deficit[flow] += d.quantum(flow)
+		q := d.quantum(flow)
+		if q < 1 {
+			panic(fmt.Sprintf("sched: DRR quantum %d < 1 for flow %d", q, flow))
+		}
+		d.deficit[flow] += q
 		if d.headLen(flow) <= d.deficit[flow] {
 			d.current = flow
 			return flow

@@ -149,10 +149,75 @@ func TestNewDRRValidation(t *testing.T) {
 	assertPanics(t, "quantum 0", func() { NewDRR(0, nil) })
 }
 
+// A per-flow quantum function returning < 1 must panic at first use,
+// naming the flow and value — before the fix, NextFlow's rotate loop
+// spun forever because the deficit never grew to fit a packet.
+func TestDRRPerFlowQuantumValidation(t *testing.T) {
+	d := NewDRR(0, func(flow int) int64 { return int64(flow) }) // flow 0 -> 0
+	d.OnArrival(0, true)
+	d.OnArrivalLength(0, 4)
+	assertPanicsWith(t, "per-flow quantum 0", "sched: DRR quantum 0 < 1 for flow 0",
+		func() { d.NextFlow() })
+}
+
+// Validation panics must name the offending flow and value across
+// the round-robin family, so a bad weight table is diagnosable from
+// the message alone.
+func TestRoundRobinValidationMessages(t *testing.T) {
+	cases := []struct {
+		name, want string
+		trigger    func()
+	}{
+		{"WRR zero weight", "sched: WRR weight 0 < 1 for flow 3", func() {
+			w := NewWRR(func(int) int { return 0 })
+			w.OnArrival(3, true)
+			w.NextFlow()
+		}},
+		{"IWRR negative weight", "sched: IWRR weight -2 < 1 for flow 1", func() {
+			s := NewIWRR(func(int) int { return -2 })
+			s.OnArrival(1, true)
+			s.NextFlow()
+		}},
+		{"DRR fixed quantum", "sched: DRR quantum -5 < 1", func() {
+			NewDRR(-5, nil)
+		}},
+		{"DRR per-flow quantum", "sched: DRR quantum -1 < 1 for flow 2", func() {
+			d := NewDRR(0, func(int) int64 { return -1 })
+			d.OnArrival(2, true)
+			d.OnArrivalLength(2, 4)
+			d.NextFlow()
+		}},
+		{"DRR-OPT missing flow", "sched: DRR-OPT has no quantum for flow 1 (table has 1 flows)", func() {
+			d := NewOptDRR([]int64{8})
+			d.OnArrival(1, true)
+			d.OnArrivalLength(1, 4)
+			d.NextFlow()
+		}},
+	}
+	for _, c := range cases {
+		assertPanicsWith(t, c.name, c.want, c.trigger)
+	}
+}
+
 func TestWRRInvalidWeightPanics(t *testing.T) {
 	w := NewWRR(func(int) int { return 0 })
 	w.OnArrival(0, true)
 	assertPanics(t, "weight 0", func() { w.NextFlow() })
+}
+
+func assertPanicsWith(t *testing.T, name, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s did not panic", name)
+			return
+		}
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Errorf("%s panicked with %v, want %q", name, r, want)
+		}
+	}()
+	f()
 }
 
 func assertPanics(t *testing.T, name string, f func()) {

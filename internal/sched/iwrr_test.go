@@ -1,0 +1,158 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Differential test: with equal weights IWRR must be byte-for-byte
+// PBRR under arbitrary interleavings of arrivals, service, and idle
+// periods — every cycle of a round serves one packet per backlogged
+// flow, which is exactly PBRR's visit order.
+func TestIWRREqualWeightsIsPBRR(t *testing.T) {
+	a := harness.New(4, sched.NewIWRR(nil))
+	b := harness.New(4, sched.NewPBRR())
+	src := rng.New(42)
+	lens := rng.NewUniform(1, 16)
+	var id int64
+	for step := 0; step < 10_000; step++ {
+		if src.Bernoulli(0.5) || a.Backlog() == 0 {
+			p := flit.Packet{Flow: src.Intn(4), Length: lens.Draw(src), ID: id}
+			id++
+			a.Arrive(p)
+			b.Arrive(p)
+		} else {
+			pa, pb := a.ServeOne(), b.ServeOne()
+			if pa.ID != pb.ID {
+				t.Fatalf("step %d: IWRR served packet %d (flow %d), PBRR packet %d (flow %d)",
+					step, pa.ID, pa.Flow, pb.ID, pb.Flow)
+			}
+		}
+	}
+	for a.Backlog() > 0 {
+		pa, pb := a.ServeOne(), b.ServeOne()
+		if pa.ID != pb.ID {
+			t.Fatalf("drain: IWRR served packet %d, PBRR packet %d", pa.ID, pb.ID)
+		}
+	}
+}
+
+// The defining IWRR property: a heavy flow's per-round budget is
+// spread across the round, not sent back to back. With weights (2,1)
+// WRR serves 0,0,1; IWRR serves 0,1,0.
+func TestIWRRInterleavesWithinRound(t *testing.T) {
+	w := func(flow int) int { return []int{2, 1}[flow] }
+	iw := harness.New(2, sched.NewIWRR(w))
+	wr := harness.New(2, sched.NewWRR(w))
+	for f := 0; f < 2; f++ {
+		for i := 0; i < 3; i++ {
+			iw.Arrive(pkt(f, 4))
+			wr.Arrive(pkt(f, 4))
+		}
+	}
+	iwOrder := []int{}
+	wrOrder := []int{}
+	for i := 0; i < 3; i++ {
+		iwOrder = append(iwOrder, iw.ServeOne().Flow)
+		wrOrder = append(wrOrder, wr.ServeOne().Flow)
+	}
+	if iwOrder[0] != 0 || iwOrder[1] != 1 || iwOrder[2] != 0 {
+		t.Errorf("IWRR first round %v, want [0 1 0]", iwOrder)
+	}
+	if wrOrder[0] != 0 || wrOrder[1] != 0 || wrOrder[2] != 1 {
+		t.Errorf("WRR first round %v, want [0 0 1]", wrOrder)
+	}
+}
+
+// Backlogged flows with constant lengths receive exactly
+// weight-proportional packet counts per round.
+func TestIWRRWeightedShares(t *testing.T) {
+	weights := []int{1, 2, 3, 4}
+	d := harness.New(4, sched.NewIWRR(func(f int) int { return weights[f] }))
+	for f := 0; f < 4; f++ {
+		for i := 0; i < 60; i++ {
+			d.Arrive(pkt(f, 8))
+		}
+	}
+	// 5 full rounds of 10 packets each.
+	d.ServeN(50)
+	for f := 0; f < 4; f++ {
+		if want := int64(weights[f]) * 5 * 8; d.Served(f) != want {
+			t.Errorf("flow %d served %d flits over 5 rounds, want %d", f, d.Served(f), want)
+		}
+	}
+}
+
+// A flow that goes idle and returns parks until the round boundary —
+// it gets no catch-up burst, but is served within the next round.
+func TestIWRRReactivation(t *testing.T) {
+	w := func(flow int) int { return []int{2, 2}[flow] }
+	d := harness.New(2, sched.NewIWRR(w))
+	for i := 0; i < 40; i++ {
+		d.Arrive(pkt(0, 8))
+	}
+	d.ServeN(6) // flow 0 alone, mid-round
+	d.Arrive(pkt(1, 8))
+	// Flow 1 must be served within the next full round: at most its
+	// own round's worth of flow-0 packets (weight 2) can precede it.
+	served := d.ServeN(4)
+	hit := false
+	for _, p := range served {
+		if p.Flow == 1 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("reactivated flow not served within the next round: %v", flows(served))
+	}
+	// Afterwards the budget is per round, not cumulative: with both
+	// flows backlogged, flow 1 never gets more than its weight in any
+	// window of a round's length.
+	for i := 0; i < 40; i++ {
+		d.Arrive(pkt(1, 8))
+	}
+	run := 0
+	for i := 0; i < 20; i++ {
+		if d.ServeOne().Flow == 1 {
+			run++
+			if run > 2 {
+				t.Fatal("IWRR gave the reactivated flow a catch-up burst")
+			}
+		} else {
+			run = 0
+		}
+	}
+}
+
+func flows(ps []flit.Packet) []int {
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = p.Flow
+	}
+	return out
+}
+
+// DRR-OPT is plain DRR with a per-flow quantum table; its name must
+// distinguish it in experiment output, and an out-of-table flow must
+// fail loudly.
+func TestOptDRRNameAndTable(t *testing.T) {
+	d := sched.NewOptDRR([]int64{16, 32})
+	if d.Name() != "DRR-OPT" {
+		t.Errorf("Name() = %q", d.Name())
+	}
+	if sched.NewDRR(16, nil).Name() != "DRR" {
+		t.Errorf("plain DRR name changed")
+	}
+	h := harness.New(3, d)
+	h.Arrive(pkt(2, 4)) // flow 2 has no quantum entry
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-table flow did not panic")
+		}
+	}()
+	h.ServeOne()
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "repro/internal/queue"
+import (
+	"fmt"
+
+	"repro/internal/queue"
+)
 
 // PBRR is Packet-Based Round Robin: visit active flows in round-robin
 // order and transmit exactly one whole packet per visit. It is O(1)
@@ -90,7 +94,7 @@ func (w *WRR) NextFlow() int {
 	w.current = w.active.PopHead()
 	w.left = w.weight(w.current)
 	if w.left < 1 {
-		panic("sched: WRR weight < 1")
+		panic(fmt.Sprintf("sched: WRR weight %d < 1 for flow %d", w.left, w.current))
 	}
 	return w.current
 }

@@ -344,7 +344,9 @@ func TestAllSchedulersConserveWork(t *testing.T) {
 		func() sched.Scheduler { return sched.NewFCFS() },
 		func() sched.Scheduler { return sched.NewPBRR() },
 		func() sched.Scheduler { return sched.NewWRR(nil) },
+		func() sched.Scheduler { return sched.NewIWRR(func(f int) int { return f + 1 }) },
 		func() sched.Scheduler { return sched.NewDRR(64, nil) },
+		func() sched.Scheduler { return sched.NewOptDRR([]int64{64, 48, 80, 64}) },
 		func() sched.Scheduler { return sched.NewSCFQ(nil) },
 		func() sched.Scheduler { return sched.NewWFQ(nil) },
 		func() sched.Scheduler { return sched.NewVirtualClock(nil) },
