@@ -523,6 +523,63 @@ func BenchmarkNoCStepping(b *testing.B) {
 	}
 }
 
+// --- Tiled stepping benchmarks (BENCH_scale.json hot path) ---
+
+// benchTiledStepping measures one cycle of tile-sharded parallel
+// stepping on a torus under the scale-sweep load point (2 VCs, 2-flit
+// buffers, 2% injection). The allocs/op figure extends the hot-path
+// allocation gate to the tiled commit path: tile arenas, worker
+// scratch, boundary effect queues, and the per-cycle tile task list
+// are all preallocated, so steady-state stepping must allocate
+// nothing at any worker count.
+func benchTiledStepping(b *testing.B, k, tile, workers int) {
+	m, err := noc.NewMesh(noc.Config{
+		K: k, VCs: 2, BufFlits: 2, Torus: true, Tile: tile,
+		NewArb: func() sched.Scheduler { return core.New() },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if workers > 1 {
+		p := exec.NewPool(workers)
+		defer p.Close()
+		m.SetPool(p)
+	}
+	inj := noc.NewInjector(m, 0.02, noc.Uniform{Nodes: m.Nodes()}, rng.NewUniform(1, 8), rng.New(7))
+	inj.MaxPending = 2
+	// Large tori take longer than the 16x16 meshes to reach their
+	// scratch-capacity high water (effect queues, active lists), so
+	// warm well past it: the gate below pins steady state, not growth.
+	for c := 0; c < 8000; c++ {
+		inj.Step()
+		m.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Step()
+		m.Step()
+	}
+}
+
+func BenchmarkNoCTiledStepping(b *testing.B) {
+	// 64x64 is the largest torus whose warm-up fits a CI benchmark
+	// run; the 256x256..1024x1024 points live in BENCH_scale.json
+	// (regenerated offline via errsim -exp scale, not per-commit).
+	cases := []struct {
+		k, tile, workers int
+	}{
+		{64, 0, 1}, // default tile (8 at K=64), serial commit path
+		{64, 0, 4}, // default tile, parallel interior commit
+		{64, 16, 4},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%dx%d-tile%d-w%d", c.k, c.k, c.tile, c.workers), func(b *testing.B) {
+			benchTiledStepping(b, c.k, c.tile, c.workers)
+		})
+	}
+}
+
 // --- NoC event-core benchmarks (BENCH_noc.json "event core") ---
 
 // benchMeshEventCore measures one epoch of a bursty or fault-windowed

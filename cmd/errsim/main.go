@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/exec"
@@ -35,6 +36,14 @@ import (
 // renderer is the common shape of every experiment result.
 type renderer interface {
 	Render(io.Writer) error
+}
+
+// textResult renders a fixed message (checkpoint-merge mode).
+type textResult string
+
+func (t textResult) Render(w io.Writer) error {
+	_, err := io.WriteString(w, string(t))
+	return err
 }
 
 // emit writes a result as its ASCII/CSV rendering or, with -json, as
@@ -50,7 +59,7 @@ func emit(w io.Writer, res renderer, asJSON bool) error {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "table1", "experiment: table1, fig4a..d, fig4, fig5a, fig5b, fig5, fig6, fig6ext, occupancy, screset, weighted, gap, nocsweep, nocsweep-torus, parkinglot, lr, bounds")
+		exp       = flag.String("exp", "table1", "experiment: table1, fig4a..d, fig4, fig5a, fig5b, fig5, fig6, fig6ext, occupancy, screset, weighted, gap, nocsweep, nocsweep-torus, parkinglot, lr, bounds, scale")
 		cycles    = flag.Int64("cycles", 0, "override the experiment's main run length in cycles (0 = paper scale)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		intervals = flag.Int("intervals", 0, "fig6: random intervals to average over (0 = paper's 10000)")
@@ -67,6 +76,9 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume from -checkpoint, skipping jobs it already holds; aggregate output is byte-identical to an uninterrupted run")
 		traceOut  = flag.String("trace-out", "", "write sampled packet spans (inject -> departure per grid job) as Chrome trace-event JSON (Perfetto-loadable) to this file; with -parallel > 1 track numbering follows job completion order")
 		traceSamp = flag.Int("trace-sample", 64, "with -trace-out: trace one in this many packets (1 = every packet)")
+		shard     = flag.Int("shard", 0, "with -of N: run only grid jobs with index %% N == shard (scale sweeps split across processes; see -checkpoint)")
+		shardOf   = flag.Int("of", 0, "split the grid round-robin across this many processes (0 = no sharding); each process needs its own -checkpoint, merged afterwards by a -resume run")
+		mergeCkpt = flag.String("merge", "", "comma-separated per-shard checkpoint files to merge into -checkpoint (scale only); merge then rerun with -resume for the full result")
 	)
 	flag.Parse()
 	if *resume && *ckptPath == "" {
@@ -104,7 +116,11 @@ func main() {
 		et = trace.NewEngineTrace(rng.Derive(*seed, 0x7ace), *traceSamp, 1<<20)
 	}
 	start := time.Now()
-	res, err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, prog, col, rb, et)
+	var mergeSrcs []string
+	if *mergeCkpt != "" {
+		mergeSrcs = strings.Split(*mergeCkpt, ",")
+	}
+	res, err := run(*exp, *cycles, *seed, *intervals, *repeats, *parallel, prog, col, rb, et, *shard, *shardOf, mergeSrcs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "errsim: %v\n", err)
 		os.Exit(1)
@@ -145,7 +161,10 @@ func main() {
 	}
 }
 
-func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, prog exec.Progress, col *obs.Collector, rb experiments.Robustness, et *trace.EngineTrace) (renderer, error) {
+func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int, prog exec.Progress, col *obs.Collector, rb experiments.Robustness, et *trace.EngineTrace, shard, of int, mergeSrcs []string) (renderer, error) {
+	if (of > 0 || len(mergeSrcs) > 0) && exp != "scale" {
+		return nil, fmt.Errorf("experiment %q does not support -shard/-of/-merge (scale only)", exp)
+	}
 	switch exp {
 	case "table1":
 		p := experiments.DefaultTable1Params()
@@ -308,6 +327,39 @@ func run(exp string, cycles int64, seed uint64, intervals, repeats, parallel int
 			p.Cycles = cycles
 		}
 		return experiments.RunBounds(p)
+
+	case "scale":
+		p := experiments.DefaultScaleParams()
+		p.Seed = seed
+		p.Workers = parallel
+		p.Progress = prog
+		p.Robustness = rb
+		p.Shard, p.Of = shard, of
+		if cycles > 0 {
+			// Fixed per-point cycle count instead of the router-cycle
+			// budget (quick runs, CI smoke).
+			p.RouterCycles = 0
+			p.MinCycles = cycles
+		}
+		if len(mergeSrcs) > 0 {
+			// Merge per-shard checkpoints into -checkpoint and stop;
+			// a -resume run against the merged file renders the full
+			// sweep without re-executing anything.
+			if p.Checkpoint == "" {
+				return nil, fmt.Errorf("-merge requires -checkpoint (the merge destination)")
+			}
+			sig, err := exec.Signature("scale", p)
+			if err != nil {
+				return nil, err
+			}
+			n, err := exec.MergeCheckpoints(p.Checkpoint, sig, mergeSrcs...)
+			if err != nil {
+				return nil, err
+			}
+			return textResult(fmt.Sprintf("merged %d records from %d shard checkpoints into %s\n",
+				n, len(mergeSrcs), p.Checkpoint)), nil
+		}
+		return experiments.RunScale(p)
 
 	case "lr":
 		if rb != (experiments.Robustness{}) {

@@ -36,6 +36,7 @@ func main() {
 		cycles  = flag.Int64("cycles", 100_000, "warm simulation cycles before draining")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		torus   = flag.Bool("torus", false, "wraparound links with dateline VC switching")
+		tile    = flag.Int("tile", 0, "commit tile edge in routers (0 = K-derived default); part of the simulated configuration — artifacts depend on it, never on -parallel-mesh")
 		pprofA  = flag.String("pprof", "", "serve net/http/pprof and the obs registry expvar on this address (e.g. localhost:6060)")
 		faults  = flag.String("faults", "", "fault-injection spec, e.g. \"freeze(router=5,at=1000,dur=500);drop(router=0,port=1,p=0.01)\" (\"\" = fault-free; see internal/fault)")
 		checkF  = flag.Bool("check", false, "validate ejected flit streams and run a deadlock watchdog that dumps the channel-wait graph on a stall")
@@ -59,7 +60,7 @@ func main() {
 	}
 	topts := traceOpts{enabled: *traceF || *traceC != "" || *traceJ != "",
 		sample: *traceS, chrome: *traceC, jsonl: *traceJ}
-	if err := run(*k, *vcs, *buf, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par, *fscan, *stepF, topts); err != nil {
+	if err := run(*k, *vcs, *buf, *tile, *arb, *pattern, *rate, *minLen, *maxLen, *cycles, *seed, *torus, *faults, *fseed, *checkF, *par, *fscan, *stepF, topts); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -73,7 +74,7 @@ type traceOpts struct {
 	jsonl   string
 }
 
-func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool, topts traceOpts) error {
+func run(k, vcs, buf, tile int, arb, pattern string, rate float64, minLen, maxLen int, cycles int64, seed uint64, torus bool, faults string, faultSeed uint64, checkF bool, parallel int, fullScan, stepped bool, topts traceOpts) error {
 	var newArb func() sched.Scheduler
 	switch arb {
 	case "err":
@@ -95,7 +96,7 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		return fmt.Errorf("unknown arbiter %q", arb)
 	}
 
-	m, err := noc.NewMesh(noc.Config{K: k, VCs: vcs, BufFlits: buf, NewArb: newArb, Torus: torus})
+	m, err := noc.NewMesh(noc.Config{K: k, VCs: vcs, BufFlits: buf, NewArb: newArb, Torus: torus, Tile: tile})
 	if err != nil {
 		return err
 	}
@@ -232,6 +233,12 @@ func run(k, vcs, buf int, arb, pattern string, rate float64, minLen, maxLen int,
 		fmt.Printf("arbitration: %s, %.1f arbitration sites visited/cycle (mesh holds %d ports*VCs cells); %d idle cycles skipped\n",
 			mode, float64(cells)/float64(cyc), m.Nodes()*noc.RouterPorts*vcs,
 			obs.Default().Counter("noc.cycles_skipped").Value())
+		crossShare := 0.0
+		if comp > 0 {
+			crossShare = float64(m.CrossShardEffects()) / float64(comp)
+		}
+		fmt.Printf("layout: %d B/router arena, %dx%d commit tiles (%d tiles), %.1f%% of router computes emitted cross-tile effects\n",
+			m.BytesPerRouter(), m.TileEdge(), m.TileEdge(), m.Tiles(), 100*crossShare)
 	}
 	if fc := finj.Counters(); fc != (fault.Counters{}) {
 		fmt.Printf("faults: %d stall cycles, %d dropped flits, %d corrupted flits\n",

@@ -2,11 +2,13 @@ package exec
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -131,32 +133,49 @@ func (c *Checkpoint) loadAll(sig string) (int64, error) {
 	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("exec: checkpoint: %w", err)
 	}
-	sc := bufio.NewScanner(c.f)
+	done, validLen, err := parseCheckpoint(c.f, sig)
+	if err != nil {
+		return 0, err
+	}
+	for i, raw := range done {
+		c.done[i] = raw
+	}
+	return validLen, nil
+}
+
+// parseCheckpoint reads a checkpoint stream: header (schema +
+// signature validated against sig), then records. A torn final line —
+// the signature of a mid-write kill — is discarded; a malformed line
+// mid-file is corruption and errors. Returns the recorded results and
+// the byte length of the valid prefix.
+func parseCheckpoint(r io.Reader, sig string) (map[int]json.RawMessage, int64, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
 	var lines [][]byte
 	for sc.Scan() {
 		lines = append(lines, append([]byte(nil), sc.Bytes()...))
 	}
 	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("exec: checkpoint: %w", err)
+		return nil, 0, fmt.Errorf("exec: checkpoint: %w", err)
 	}
+	done := make(map[int]json.RawMessage)
 	if len(lines) == 0 {
-		return 0, nil // empty file: nothing to resume
+		return done, 0, nil // empty file: nothing to resume
 	}
 	var h cpHeader
 	if err := json.Unmarshal(lines[0], &h); err != nil || h.Checkpoint == 0 {
 		if len(lines) == 1 {
 			// The kill landed mid-header: no record was ever written,
 			// so the file is equivalent to empty.
-			return 0, nil
+			return done, 0, nil
 		}
-		return 0, fmt.Errorf("exec: checkpoint: missing or malformed header (not a checkpoint file?)")
+		return nil, 0, fmt.Errorf("exec: checkpoint: missing or malformed header (not a checkpoint file?)")
 	}
 	if h.Checkpoint != checkpointSchema {
-		return 0, fmt.Errorf("exec: checkpoint: schema %d, want %d", h.Checkpoint, checkpointSchema)
+		return nil, 0, fmt.Errorf("exec: checkpoint: schema %d, want %d", h.Checkpoint, checkpointSchema)
 	}
 	if h.Sig != sig {
-		return 0, fmt.Errorf("exec: checkpoint: grid signature %s does not match this run's %s (different experiment, parameters, or seed — pass a fresh checkpoint path or drop -resume)", h.Sig, sig)
+		return nil, 0, fmt.Errorf("exec: checkpoint: grid signature %s does not match this run's %s (different experiment, parameters, or seed — pass a fresh checkpoint path or drop -resume)", h.Sig, sig)
 	}
 	validLen := int64(len(lines[0])) + 1 // +1 for the newline sc stripped
 	records := lines[1:]
@@ -168,12 +187,77 @@ func (c *Checkpoint) loadAll(sig string) (int64, error) {
 				// kill; the job simply re-runs.
 				break
 			}
-			return 0, fmt.Errorf("exec: checkpoint: malformed record mid-file (corrupt checkpoint)")
+			return nil, 0, fmt.Errorf("exec: checkpoint: malformed record mid-file (corrupt checkpoint)")
 		}
-		c.done[*rec.Job] = rec.Result
+		done[*rec.Job] = rec.Result
 		validLen += int64(len(line)) + 1
 	}
-	return validLen, nil
+	return done, validLen, nil
+}
+
+// MergeCheckpoints unions the records of the per-shard checkpoint
+// files srcs — all of which must carry exactly the grid signature sig
+// — into a fresh checkpoint at dst, records written in ascending job
+// order. Re-marshaling a record preserves its bytes (results are
+// stored as raw JSON), so the merged file is byte-identical to the
+// checkpoint a serial single-process sweep of the same grid would
+// have written, and an unsharded Run resumed against it re-executes
+// nothing. The same job recorded by two sources must agree
+// byte-for-byte (sharded runs of a deterministic grid always do;
+// divergence means the sources came from different grids and the
+// merge is refused). Returns the merged record count.
+func MergeCheckpoints(dst, sig string, srcs ...string) (int, error) {
+	merged := make(map[int]json.RawMessage)
+	for _, src := range srcs {
+		f, err := os.Open(src)
+		if err != nil {
+			return 0, fmt.Errorf("exec: merge: %w", err)
+		}
+		done, _, err := parseCheckpoint(f, sig)
+		f.Close()
+		if err != nil {
+			return 0, fmt.Errorf("exec: merge %s: %w", src, err)
+		}
+		for i, raw := range done {
+			if prev, ok := merged[i]; ok && !bytes.Equal(prev, raw) {
+				return 0, fmt.Errorf("exec: merge %s: job %d recorded with conflicting results (sources from different grids?)", src, i)
+			}
+			merged[i] = raw
+		}
+	}
+	ids := make([]int, 0, len(merged))
+	for i := range merged {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	f, err := os.Create(dst)
+	if err != nil {
+		return 0, fmt.Errorf("exec: merge: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	hdr, err := json.Marshal(cpHeader{Checkpoint: checkpointSchema, Sig: sig})
+	if err == nil {
+		_, err = w.Write(append(hdr, '\n'))
+	}
+	for _, i := range ids {
+		if err != nil {
+			break
+		}
+		var line []byte
+		if line, err = json.Marshal(cpRecord{Job: &i, Result: merged[i]}); err == nil {
+			_, err = w.Write(append(line, '\n'))
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("exec: merge: %w", err)
+	}
+	return len(merged), nil
 }
 
 // Resumed returns the number of completed-job results loaded from

@@ -226,3 +226,100 @@ func TestCheckpointResumeMissingOrTornHeader(t *testing.T) {
 		t.Fatalf("resume from non-checkpoint file: err = %v, want a header refusal", err)
 	}
 }
+
+// TestShardMergeResumeByteIdentical pins the cross-process sweep
+// contract: a grid split 3 ways with WithShard, each shard writing
+// its own checkpoint, then MergeCheckpoints + an unsharded resume
+// must (a) produce a merged checkpoint file byte-identical to the one
+// a serial single-process sweep writes, and (b) recover the full
+// result slice without re-executing a single job.
+func TestShardMergeResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	sig, _ := Signature("shard-grid", 7)
+	const n, of = 11, 3
+
+	// Serial single-process reference.
+	refPath := filepath.Join(dir, "ref.jsonl")
+	refCP, err := OpenCheckpoint(refPath, sig, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(cpJobs(n, nil), 1, WithCheckpoint(refCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCP.Close()
+
+	// 3-way sharded sweep: separate processes simulated by separate
+	// Run calls with separate checkpoint files.
+	var shardPaths []string
+	for s := 0; s < of; s++ {
+		path := filepath.Join(dir, "shard"+string(rune('0'+s))+".jsonl")
+		shardPaths = append(shardPaths, path)
+		cp, err := OpenCheckpoint(path, sig, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ran atomic.Int64
+		got, err := Run(cpJobs(n, &ran), 2, WithCheckpoint(cp), WithShard(s, of))
+		cp.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := 0
+		for i := range got {
+			if i%of == s {
+				owned++
+				if got[i] != want[i] {
+					t.Fatalf("shard %d job %d = %+v, want %+v", s, i, got[i], want[i])
+				}
+			} else if got[i] != (cpResult{}) {
+				t.Fatalf("shard %d filled foreign job %d: %+v", s, i, got[i])
+			}
+		}
+		if int(ran.Load()) != owned {
+			t.Fatalf("shard %d executed %d jobs, owns %d", s, ran.Load(), owned)
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.jsonl")
+	count, err := MergeCheckpoints(merged, sig, shardPaths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("merged %d records, want %d", count, n)
+	}
+	refBytes, _ := os.ReadFile(refPath)
+	gotBytes, _ := os.ReadFile(merged)
+	if !reflect.DeepEqual(refBytes, gotBytes) {
+		t.Fatalf("merged checkpoint differs from the serial one:\nserial:\n%s\nmerged:\n%s", refBytes, gotBytes)
+	}
+
+	// Unsharded resume against the merge: full results, zero execution.
+	cp, err := OpenCheckpoint(merged, sig, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Resumed() != n {
+		t.Fatalf("Resumed() = %d, want %d", cp.Resumed(), n)
+	}
+	poisoned := make([]Job[cpResult], n)
+	for i := range poisoned {
+		poisoned[i] = func() (cpResult, error) { return cpResult{}, errors.New("must not run") }
+	}
+	got, err := Run(poisoned, 4, WithCheckpoint(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed results differ from serial reference")
+	}
+
+	// A source from a different grid is refused.
+	otherSig, _ := Signature("shard-grid", 8)
+	if _, err := MergeCheckpoints(filepath.Join(dir, "bad.jsonl"), otherSig, shardPaths[0]); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Fatalf("merge across grids: err = %v, want a signature refusal", err)
+	}
+}

@@ -59,6 +59,8 @@ type options struct {
 	timeout  time.Duration
 	cp       *Checkpoint
 	ctx      context.Context
+	shard    int
+	of       int
 }
 
 // WithProgress reports each job completion to p. It exists for the
@@ -105,6 +107,29 @@ func WithTimeout(d time.Duration) Option {
 // contract, with ctx.Err() as the failing job's error.
 func WithContext(ctx context.Context) Option {
 	return func(o *options) { o.ctx = ctx }
+}
+
+// WithShard(shard, of) restricts a Run to the jobs whose index i
+// satisfies i % of == shard, so a giant sweep can be split across
+// processes (or machines): each process runs the same grid with the
+// same checkpoint signature, its own shard index, and its own
+// checkpoint file. Jobs owned by other shards are skipped — their
+// results stay zero values — unless the attached checkpoint already
+// records them, which still loads. The full deterministic result is
+// recovered by MergeCheckpoints-ing the per-shard files and resuming
+// one unsharded Run against the merged checkpoint: every job is then
+// recorded, nothing re-executes, and the output is byte-identical to
+// a serial single-process sweep. Round-robin assignment (not
+// contiguous blocks) keeps shard wall-times balanced when job cost
+// trends across the grid. of <= 1 disables sharding.
+func WithShard(shard, of int) Option {
+	if of > 1 && (shard < 0 || shard >= of) {
+		panic(fmt.Sprintf("exec: shard %d outside [0, %d)", shard, of))
+	}
+	return func(o *options) {
+		o.shard = shard
+		o.of = of
+	}
 }
 
 // WithCheckpoint records every completed job's result to cp as one
@@ -202,6 +227,11 @@ func Run[T any](jobs []Job[T], workers int, opts ...Option) ([]T, error) {
 // and timeout per the options) and recording the result.
 func oneJob[T any](o *options, i int, job Job[T], dst *T) error {
 	if o.cp != nil && o.cp.load(i, dst) {
+		return nil
+	}
+	if o.of > 1 && i%o.of != o.shard {
+		// Another process's shard (and not checkpointed): leave the
+		// zero value. See WithShard.
 		return nil
 	}
 	r, err := runJob(o, i, job)

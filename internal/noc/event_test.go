@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/flit"
 	"repro/internal/obs"
@@ -23,6 +24,7 @@ type eventRunOpts struct {
 	cfg      Config
 	spec     string // fault spec, "" = clean
 	stepped  bool   // SetStepped oracle mode
+	workers  int    // > 0: attach an exec.Pool of this size
 	bursts   []int64
 	perBurst int
 	run      int64
@@ -42,6 +44,11 @@ func eventRun(t *testing.T, o eventRunOpts) (runArtifacts, int64) {
 	reg := obs.NewRegistry()
 	m.RegisterObs(reg)
 	m.SetStepped(o.stepped)
+	if o.workers > 0 {
+		p := exec.NewPool(o.workers)
+		defer p.Close()
+		m.SetPool(p)
+	}
 	if o.spec != "" {
 		spec, err := fault.Parse(o.spec)
 		if err != nil {
@@ -348,20 +355,27 @@ func TestDrainHorizonClamp(t *testing.T) {
 // arbitrarily-windowed stall/freeze faults to event-driven and
 // stepped Run/Drain and requires byte-identical delivery logs — a
 // coverage-guided search for a window placement whose dormancy
-// analysis skips a cycle that mattered. Run with
+// analysis skips a cycle that mattered. hdr[6] picks the commit tile
+// edge (0 = auto), so the search also covers every tiling of the K=3
+// mesh, 1x1 boundary-only through 3x3 single-tile. Run with
 // `go test -fuzz FuzzMeshEventOracle ./internal/noc`.
 func FuzzMeshEventOracle(f *testing.F) {
-	f.Add([]byte{0x03, 0x10, 0x08, 0x04, 0x02, 0x30, 0x01, 0x53, 0x22, 0x90, 0x07})
-	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff})
-	f.Add([]byte{0x05, 0x20, 0x00, 0x07, 0x01, 0x10, 0x10, 0x20, 0x30, 0x40, 0x50})
+	f.Add([]byte{0x03, 0x10, 0x08, 0x04, 0x02, 0x30, 0x00, 0x01, 0x53, 0x22, 0x90, 0x07})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff})
+	f.Add([]byte{0x05, 0x20, 0x00, 0x07, 0x01, 0x10, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50})
+	// Tiled configs: explicit 1x1 (every commit crosses a boundary) and
+	// 2x2 (uneven edge tiles on K=3) under faulted bursty traffic.
+	f.Add([]byte{0x03, 0x10, 0x08, 0x04, 0x02, 0x30, 0x01, 0x53, 0x22, 0x90, 0x07, 0x11})
+	f.Add([]byte{0x05, 0x20, 0x00, 0x07, 0x01, 0x10, 0x02, 0x10, 0x20, 0x30, 0x40, 0x50})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 6 {
+		if len(data) < 7 {
 			return
 		}
 		if len(data) > 96 {
 			data = data[:96]
 		}
-		hdr, script := data[:6], data[6:]
+		hdr, script := data[:7], data[7:]
+		tile := int(hdr[6] % 4) // 0 = auto, else explicit 1..3
 		var specs []string
 		if hdr[0]%4 != 0 {
 			// dur==0 is a permanent stall: the wedged network must still
@@ -378,7 +392,7 @@ func FuzzMeshEventOracle(f *testing.F) {
 		}
 		faultSpec := strings.Join(specs, ";")
 		run := func(stepped bool) ([]delivRec, int64, int) {
-			m, err := NewMesh(Config{K: 3, VCs: 2, BufFlits: 2,
+			m, err := NewMesh(Config{K: 3, VCs: 2, BufFlits: 2, Tile: tile,
 				NewArb: func() sched.Scheduler { return core.New() }})
 			if err != nil {
 				t.Fatal(err)

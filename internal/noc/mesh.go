@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/check"
 	"repro/internal/exec"
@@ -62,6 +63,15 @@ type Config struct {
 	// SharedBufCap limits one VC's occupancy of the shared buffer
 	// (anti-hogging; 0 = unlimited).
 	SharedBufCap int
+	// Tile is the edge length of the square commit tiles the mesh is
+	// sharded into: routers are laid out tile-major in memory, each
+	// tile's interior effects commit in parallel, and only
+	// tile-boundary effects serialize (see DESIGN.md §14). 0 picks a
+	// deterministic default from K. The tile edge is part of the
+	// simulated configuration — it fixes the commit schedule — and is
+	// deliberately independent of the worker count, so artifacts are
+	// byte-identical at any parallelism.
+	Tile int
 }
 
 // injState is the per-node injection front end: one packet is fed
@@ -90,26 +100,81 @@ type pktMeta struct {
 	length int
 }
 
-// idSet tracks which node ids are active as a packed bitmap: word
-// iteration yields members in ascending id order for free, so
-// additions (which arrive in commit order, not id order) never need a
-// sort. sorted materialises the members into a scratch slice reused
+// idSet tracks which node ids are active as a packed two-level
+// bitmap: word iteration yields members in ascending id order for
+// free, so additions (which arrive in commit order, not id order)
+// never need a sort, and the summary level (bit w set <=> words[w]
+// != 0) keeps every traversal O(members + n/4096) — at a million
+// routers a sparse active set no longer pays a 16K-word sweep per
+// cycle. sorted materialises the members into a scratch slice reused
 // across cycles.
 type idSet struct {
 	words   []uint64
+	summary []uint64
 	n       int
 	scratch []int
 }
 
-func newIDSet(n int) *idSet { return &idSet{words: make([]uint64, (n+63)/64)} }
+func newIDSet(n int) *idSet {
+	nw := (n + 63) / 64
+	return &idSet{words: make([]uint64, nw), summary: make([]uint64, (nw+63)/64)}
+}
 
 func (s *idSet) add(id int) {
-	w := &s.words[id>>6]
+	wi := id >> 6
+	w := &s.words[wi]
 	b := uint64(1) << uint(id&63)
 	if *w&b == 0 {
+		if *w == 0 {
+			s.summary[wi>>6] |= 1 << uint(wi&63)
+		}
 		*w |= b
 		s.n++
 	}
+}
+
+// addAtomic is add for the parallel commit phase: tile owners
+// re-activate routers concurrently, so both bitmap levels are set
+// with CAS loops. The membership counter is not maintained — the
+// caller recounts once after the phase — because a shared counter
+// would serialize exactly the hot path the tiles exist to unshare.
+func (s *idSet) addAtomic(id int) {
+	wi := id >> 6
+	b := uint64(1) << uint(id&63)
+	for {
+		old := atomic.LoadUint64(&s.words[wi])
+		if old&b != 0 {
+			return
+		}
+		if !atomic.CompareAndSwapUint64(&s.words[wi], old, old|b) {
+			continue
+		}
+		if old == 0 {
+			si, sb := wi>>6, uint64(1)<<uint(wi&63)
+			for {
+				os := atomic.LoadUint64(&s.summary[si])
+				if os&sb != 0 || atomic.CompareAndSwapUint64(&s.summary[si], os, os|sb) {
+					break
+				}
+			}
+		}
+		return
+	}
+}
+
+// recount restores the membership counter after a concurrent-add
+// phase. Cost is proportional to the populated words, not the
+// universe.
+func (s *idSet) recount() {
+	n := 0
+	for si, sw := range s.summary {
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			n += bits.OnesCount64(s.words[wi])
+		}
+	}
+	s.n = n
 }
 
 // sorted returns the member ids in ascending order. The slice is the
@@ -117,10 +182,15 @@ func (s *idSet) add(id int) {
 // next sorted call.
 func (s *idSet) sorted() []int {
 	ids := s.scratch[:0]
-	for wi, w := range s.words {
-		for w != 0 {
-			ids = append(ids, wi<<6+bits.TrailingZeros64(w))
-			w &= w - 1
+	for si, sw := range s.summary {
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			w := s.words[wi]
+			for w != 0 {
+				ids = append(ids, wi<<6+bits.TrailingZeros64(w))
+				w &= w - 1
+			}
 		}
 	}
 	s.scratch = ids
@@ -130,24 +200,37 @@ func (s *idSet) sorted() []int {
 // forEach calls fn for every member in ascending order without
 // materialising a slice.
 func (s *idSet) forEach(fn func(id int)) {
-	for wi, w := range s.words {
-		for w != 0 {
-			fn(wi<<6 + bits.TrailingZeros64(w))
-			w &= w - 1
+	for si, sw := range s.summary {
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			w := s.words[wi]
+			for w != 0 {
+				fn(wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
+			}
 		}
 	}
 }
 
 // prune drops every member for which keep returns false.
 func (s *idSet) prune(keep func(id int) bool) {
-	for wi := range s.words {
-		w := s.words[wi]
-		for w != 0 {
-			id := wi<<6 + bits.TrailingZeros64(w)
-			w &= w - 1
-			if !keep(id) {
-				s.words[wi] &^= 1 << uint(id&63)
-				s.n--
+	for si := range s.summary {
+		sw := s.summary[si]
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			w := s.words[wi]
+			for w != 0 {
+				id := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if !keep(id) {
+					s.words[wi] &^= 1 << uint(id&63)
+					s.n--
+				}
+			}
+			if s.words[wi] == 0 {
+				s.summary[si] &^= 1 << uint(wi&63)
 			}
 		}
 	}
@@ -157,21 +240,29 @@ func (s *idSet) len() int { return s.n }
 
 // Mesh is a K x K wormhole mesh (or torus, when Config.Torus is set).
 //
-// Stepping is quiescence-aware and two-phase. Routers register on an
-// active set when a flit arrives (wormhole.Router.SetOnActive) and
-// retire when they go idle; injection front ends do the same when
-// packets are queued. Each cycle touches only active nodes — a
-// skipped router's Step is provably a strict no-op — so a big mesh at
-// low load pays for its traffic, not its radix. Within a cycle every
-// router first Computes against frozen cycle-start state, buffering
-// cross-router effects (flit handoffs, credit returns) per router;
-// the mesh then commits the buffers in ascending router-id order.
-// Because computes touch only router-own state, they may run in any
-// order — or concurrently, see StepParallel — without changing a
-// single byte of the run's artifacts.
+// Stepping is quiescence-aware, two-phase, and tile-sharded. Routers
+// register on an active set when a flit arrives
+// (wormhole.Router.SetOnActive) and retire when they go idle;
+// injection front ends do the same when packets are queued. Each
+// cycle touches only active nodes — a skipped router's Step is
+// provably a strict no-op — so a big mesh at low load pays for its
+// traffic, not its radix.
+//
+// The mesh is partitioned into square tiles of Config.Tile edge
+// length, and routers are stored tile-major (physical ids remap the
+// row-major node ids so a tile's routers, FIFOs, and bitmap words are
+// contiguous in memory). Within a cycle, each tile — owned by exactly
+// one worker — Computes its active routers against frozen cycle-start
+// state and immediately applies the effects that stay inside the tile
+// (wormhole.Effects.ApplyDomain); only effects that cross a tile
+// boundary (a perimeter term, not an area term) are deferred and
+// committed serially in ascending tile order after the parallel
+// phase. The schedule — tiles ascending, routers ascending within a
+// tile, interior before boundary — has no worker-count term anywhere,
+// so artifacts are byte-identical at any parallelism (DESIGN.md §14).
 type Mesh struct {
 	cfg     Config
-	routers []*wormhole.Router
+	routers []*wormhole.Router // node-id (row-major external) order
 	sinks   []*wormhole.Sink
 	inj     []injState
 	cycle   int64
@@ -184,21 +275,48 @@ type Mesh struct {
 	// serial phases of the step, so the recorder needs no locking.
 	tr *trace.Trace
 
-	activeR *idSet // routers with buffered flits or live allocations
-	activeI *idSet // nodes with queued or mid-injection packets
-	fx      []wormhole.Effects
+	activeR *idSet             // routers with buffered flits or live allocations (physical ids)
+	activeI *idSet             // nodes with queued or mid-injection packets (node ids)
+	fx      []wormhole.Effects // per-router effect buffers, physical order
 	allIDs  []int
 	pool    *exec.Pool
 	// fullIter disables active-set skipping (oracle mode for tests).
 	fullIter bool
 
-	// shard* is reusable scratch for StepParallel's compute fan-out;
-	// the closures read the fields so they are built once per worker
-	// count instead of once per cycle.
-	shardTasks []func()
-	shardIDs   []int
-	shardBound []int
-	shardCycle int64
+	// Tile-major layout: physR lists the routers in physical (tile-
+	// major) order; ext2phys/phys2ext translate between node ids (the
+	// public, row-major id space every API keeps) and physical ids
+	// (the storage and commit order). tileStart[t] is the first
+	// physical id of tile t, so a tile is one contiguous id range.
+	physR       []*wormhole.Router
+	ext2phys    []int32
+	phys2ext    []int32
+	tileEdge    int
+	tilesPerRow int
+	numTiles    int
+	tileStart   []int32
+
+	// Per-cycle tile scratch, grow-only so the steady state allocates
+	// nothing and nothing is keyed to a worker count (a pool of any
+	// size, attached at any time, reuses the same scratch): tileOff
+	// splits the sorted active ids into per-tile spans; rest[t]
+	// buffers tile t's deferred boundary effects; tileTasks[i] commits
+	// the tiles in [groupBound[i], groupBound[i+1]).
+	tileOff    []int32
+	rest       []wormhole.Effects
+	tileTasks  []func()
+	groupBound []int
+	tileIDs    []int
+	tileCycle  int64
+	// parCommit is set for the duration of the parallel tile phase:
+	// the routers' onActive hooks switch to the active set's CAS path.
+	// Written only by the stepping goroutine, strictly before and
+	// after the pool barrier.
+	parCommit bool
+	// arenaBytes is the router arena footprint (NewMesh); crossFx
+	// counts effects committed across tile boundaries.
+	arenaBytes int64
+	crossFx    int64
 
 	// sched is a min-heap of future injections (SendAt), ordered by
 	// (cycle, submission order); schedSeq breaks same-cycle ties so
@@ -242,6 +360,8 @@ type Mesh struct {
 	obsCellsVisited    *obs.Counter
 	obsWorklistLen     *obs.Gauge
 	obsCyclesSkipped   *obs.Counter
+	obsCrossShard      *obs.Counter
+	obsBytesPerRouter  *obs.Gauge
 
 	// Latency accumulates end-to-end packet latencies (inject of head
 	// flit enqueued -> tail flit ejected).
@@ -252,7 +372,37 @@ type Mesh struct {
 	DeliveredPackets []int64
 }
 
-// NewMesh validates cfg and builds the network.
+// autoTile picks the default commit tile edge for a K x K mesh: tiny
+// meshes get ~2x2 tiles so the tiled machinery is exercised (and
+// differentially tested) even at K=4, mid-size meshes 8x8, large
+// meshes 32x32 — which at K=1024 yields 1024 tiles, enough parallel
+// grain for any realistic worker count while the serialized boundary
+// stays a perimeter term (4/32 of a tile's links), not an area term.
+// The rule depends only on K, never on the machine, so a config means
+// the same simulation everywhere.
+func autoTile(k int) int {
+	switch {
+	case k <= 8:
+		return (k + 1) / 2
+	case k <= 64:
+		return 8
+	default:
+		return 32
+	}
+}
+
+// routeTableNodes caps the precomputed per-router routing tables:
+// below it every router gets a dst -> output-port byte table (n bytes
+// per router, n² total — fast and still small); above it the tables'
+// quadratic footprint would dwarf the routers themselves (a terabyte
+// at a million nodes), so routing falls back to the closed-form
+// coordinate math per head flit.
+const routeTableNodes = 4096
+
+// NewMesh validates cfg and builds the network. All per-router state
+// is carved out of one flat arena in tile-major order (see
+// ArenaBytes), so construction cost and footprint stay linear and a
+// commit tile is contiguous in memory.
 func NewMesh(cfg Config) (*Mesh, error) {
 	if cfg.K < 2 {
 		return nil, fmt.Errorf("noc: mesh radix %d < 2", cfg.K)
@@ -263,7 +413,16 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	if cfg.Torus && (cfg.VCs < 2 || cfg.VCs%2 != 0) {
 		return nil, fmt.Errorf("noc: torus dateline routing needs an even VC count >= 2, got %d", cfg.VCs)
 	}
+	tile := cfg.Tile
+	if tile == 0 {
+		tile = autoTile(cfg.K)
+	}
+	if tile < 1 || tile > cfg.K {
+		return nil, fmt.Errorf("noc: tile edge %d outside [1, %d]", tile, cfg.K)
+	}
 	n := cfg.K * cfg.K
+	tw := (cfg.K + tile - 1) / tile
+	numTiles := tw * tw
 	m := &Mesh{
 		cfg:              cfg,
 		routers:          make([]*wormhole.Router, n),
@@ -274,39 +433,90 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		activeI:          newIDSet(n),
 		fx:               make([]wormhole.Effects, n),
 		allIDs:           make([]int, n),
+		physR:            make([]*wormhole.Router, n),
+		ext2phys:         make([]int32, n),
+		phys2ext:         make([]int32, n),
+		tileEdge:         tile,
+		tilesPerRow:      tw,
+		numTiles:         numTiles,
+		tileStart:        make([]int32, numTiles+1),
+		tileOff:          make([]int32, numTiles+1),
+		rest:             make([]wormhole.Effects, numTiles),
 		DeliveredFlits:   make([]int64, n),
 		DeliveredPackets: make([]int64, n),
 	}
-	for id := 0; id < n; id++ {
-		id := id
-		m.allIDs[id] = id
-		// Dimension-order routing is static, so each router gets a
-		// precomputed dst -> output-port table (n bytes per router)
-		// instead of redoing the coordinate math per head flit.
-		tab := make([]uint8, n)
-		for dst := 0; dst < n; dst++ {
-			tab[dst] = uint8(m.route(id, dst))
-		}
-		rcfg := wormhole.Config{
-			Ports:          numPorts,
-			VCs:            cfg.VCs,
-			BufFlits:       cfg.BufFlits,
-			SharedBufFlits: cfg.SharedBufFlits,
-			SharedBufCap:   cfg.SharedBufCap,
-			NewArb:         cfg.NewArb,
-			Route:          func(dst int) int { return int(tab[dst]) },
-		}
-		if cfg.Torus {
-			rcfg.OutVC = func(outPort int, head flit.Flit, inPort, inVC int) int {
-				return m.torusOutVC(id, outPort, inPort, inVC)
+	// Tile-major physical layout: tiles in row-major tile order, rows
+	// row-major within each tile. Edge tiles are smaller when K % tile
+	// != 0. Node ids (y*K+x) stay the public id space everywhere —
+	// Send, Coords, fault specs, traffic patterns — only storage and
+	// commit order use physical ids.
+	p := 0
+	for ty := 0; ty < tw; ty++ {
+		for tx := 0; tx < tw; tx++ {
+			t := ty*tw + tx
+			m.tileStart[t] = int32(p)
+			yEnd := min((ty+1)*tile, cfg.K)
+			xEnd := min((tx+1)*tile, cfg.K)
+			for y := ty * tile; y < yEnd; y++ {
+				for x := tx * tile; x < xEnd; x++ {
+					ext := y*cfg.K + x
+					m.ext2phys[ext] = int32(p)
+					m.phys2ext[p] = int32(ext)
+					p++
+				}
 			}
 		}
-		r, err := wormhole.NewRouter(id, rcfg)
-		if err != nil {
-			return nil, err
+	}
+	m.tileStart[numTiles] = int32(n)
+	base := wormhole.Config{
+		Ports:          numPorts,
+		VCs:            cfg.VCs,
+		BufFlits:       cfg.BufFlits,
+		SharedBufFlits: cfg.SharedBufFlits,
+		SharedBufCap:   cfg.SharedBufCap,
+		NewArb:         cfg.NewArb,
+	}
+	arena := wormhole.NewArena(base, n)
+	m.arenaBytes = arena.Bytes()
+	useTables := n <= routeTableNodes
+	for t := 0; t < numTiles; t++ {
+		for pid := int(m.tileStart[t]); pid < int(m.tileStart[t+1]); pid++ {
+			pid := pid
+			ext := int(m.phys2ext[pid])
+			m.allIDs[pid] = pid
+			rcfg := base
+			if useTables {
+				// Dimension-order routing is static, so each router
+				// gets a precomputed dst -> output-port table instead
+				// of redoing the coordinate math per head flit.
+				tab := make([]uint8, n)
+				for dst := 0; dst < n; dst++ {
+					tab[dst] = uint8(m.route(ext, dst))
+				}
+				rcfg.Route = func(dst int) int { return int(tab[dst]) }
+			} else {
+				rcfg.Route = func(dst int) int { return m.route(ext, dst) }
+			}
+			if cfg.Torus {
+				rcfg.OutVC = func(outPort int, head flit.Flit, inPort, inVC int) int {
+					return m.torusOutVC(ext, outPort, inPort, inVC)
+				}
+			}
+			r, err := arena.NewRouter(ext, rcfg)
+			if err != nil {
+				return nil, err
+			}
+			r.SetDomain(t)
+			r.SetOnActive(func() {
+				if m.parCommit {
+					m.activeR.addAtomic(pid)
+				} else {
+					m.activeR.add(pid)
+				}
+			})
+			m.physR[pid] = r
+			m.routers[ext] = r
 		}
-		r.SetOnActive(func() { m.activeR.add(id) })
-		m.routers[id] = r
 	}
 	// Wire neighbours and ejection sinks.
 	for y := 0; y < cfg.K; y++ {
@@ -646,23 +856,34 @@ func (m *Mesh) canActNow() bool {
 			return true
 		}
 		// Probe active routers for one that can act at m.cycle; walk
-		// the bitmap words directly (no closure) to stay off the heap.
-		for wi, w := range m.activeR.words {
-			for w != 0 {
-				id := wi<<6 + bits.TrailingZeros64(w)
-				w &= w - 1
-				if m.routers[id].NextEventAt(m.cycle) <= m.cycle {
-					return true
+		// the bitmap hierarchy directly (no closure) to stay off the
+		// heap.
+		for si, sw := range m.activeR.summary {
+			for sw != 0 {
+				wi := si<<6 + bits.TrailingZeros64(sw)
+				sw &= sw - 1
+				w := m.activeR.words[wi]
+				for w != 0 {
+					id := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					if m.physR[id].NextEventAt(m.cycle) <= m.cycle {
+						return true
+					}
 				}
 			}
 		}
 	}
-	for wi, w := range m.activeI.words {
-		for w != 0 {
-			id := wi<<6 + bits.TrailingZeros64(w)
-			w &= w - 1
-			if m.injCanProgress(id) {
-				return true
+	for si, sw := range m.activeI.summary {
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			w := m.activeI.words[wi]
+			for w != 0 {
+				id := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if m.injCanProgress(id) {
+					return true
+				}
 			}
 		}
 	}
@@ -784,7 +1005,12 @@ func (m *Mesh) skipTo(c int64) {
 // noc.cells_visited (arbitration sites inspected; compare against
 // ports*VCs*router_computes for the scan work saved), noc.worklist_len
 // (pending cells across the active set at end of cycle), and
-// noc.cycles_skipped (idle cycles jumped by time skipping).
+// noc.cycles_skipped (idle cycles jumped by time skipping). Two
+// tile-locality metrics ride along: noc.bytes_per_router (the arena
+// footprint per router, set once here) and noc.cross_shard_effects
+// (effects committed across a tile boundary — the serialized share of
+// the commit; its ratio to total traffic is what tile sharding wins
+// over id-stripe sharding).
 func (m *Mesh) RegisterObs(reg *obs.Registry) {
 	m.obsCycles = reg.Counter("noc.cycles")
 	m.obsComputes = reg.Counter("noc.router_computes")
@@ -794,17 +1020,23 @@ func (m *Mesh) RegisterObs(reg *obs.Registry) {
 	m.obsCellsVisited = reg.Counter("noc.cells_visited")
 	m.obsWorklistLen = reg.Gauge("noc.worklist_len")
 	m.obsCyclesSkipped = reg.Counter("noc.cycles_skipped")
+	m.obsCrossShard = reg.Counter("noc.cross_shard_effects")
+	m.obsBytesPerRouter = reg.Gauge("noc.bytes_per_router")
+	m.obsBytesPerRouter.Set(m.BytesPerRouter())
 }
 
 // Step advances the whole mesh by one cycle (sharding compute across
 // the pool installed with SetPool, if any).
 func (m *Mesh) Step() { m.step(m.pool) }
 
-// StepParallel advances the mesh by one cycle with the compute phase
-// sharded across p's workers. The result is byte-identical to Step at
-// any worker count: computes touch only router-own state, and the
-// cross-router effects they buffer are committed serially in
-// ascending router-id order regardless of which worker computed them.
+// StepParallel advances the mesh by one cycle with both the compute
+// phase and the tile-interior commit sharded across p's workers. The
+// result is byte-identical to Step at any worker count: computes
+// touch only router-own state; each tile's interior effects are
+// applied by the worker owning the tile, in a fixed tile-ascending
+// order; and the only effects committed by the serial phase are the
+// tile-boundary crossings, again in tile-ascending order. No part of
+// the schedule depends on the worker count.
 func (m *Mesh) StepParallel(p *exec.Pool) { m.step(p) }
 
 func (m *Mesh) step(pool *exec.Pool) {
@@ -819,33 +1051,50 @@ func (m *Mesh) step(pool *exec.Pool) {
 	// meshes without shared buffers.
 	if m.cfg.SharedBufFlits > 0 {
 		for _, id := range ids {
-			m.routers[id].SnapshotGates(m.cycle)
+			m.physR[id].SnapshotGates(m.cycle)
 		}
 	}
-	if pool != nil && pool.Workers() > 1 && len(ids) > 1 {
-		m.computeSharded(pool, ids)
+	// Compute + interior commit, tile by tile. Physical ids are
+	// tile-major, so the sorted active set splits into contiguous
+	// per-tile spans; the parallel path runs the identical per-tile
+	// code on worker-owned contiguous tile ranges.
+	m.partitionTiles(ids)
+	m.tileIDs = ids
+	m.tileCycle = m.cycle
+	if g := m.planGroups(pool, len(ids)); g > 1 {
+		m.parCommit = true
+		pool.Do(m.tileTasks[:g]...)
+		m.parCommit = false
+		m.activeR.recount()
 	} else {
-		for _, id := range ids {
-			fx := &m.fx[id]
-			fx.Reset()
-			m.routers[id].Compute(m.cycle, fx)
-		}
+		m.runTiles(0, m.numTiles)
 	}
-	// Commit in ascending router-id order. Deliveries may re-activate
-	// quiescent routers (Router.onActive appends to the active set);
+	// Serial boundary commit, ascending tile order: the flit handoffs
+	// and credit returns that crossed a tile edge, plus every sink
+	// ejection (sinks feed mesh-global accounting — DeliveredFlits,
+	// latency, the flight recorder — which must stay single-threaded).
+	// Deliveries may re-activate quiescent routers (Router.onActive);
 	// they join the iteration next cycle.
-	for _, id := range ids {
-		m.fx[id].Apply()
+	var cross int64
+	for t := range m.rest {
+		rest := &m.rest[t]
+		if rest.Len() == 0 {
+			continue
+		}
+		cross += int64(rest.CrossRouter())
+		rest.Apply()
+		rest.Reset()
 	}
+	m.crossFx += cross
 	// Retire routers with nothing runnable. Stricter than Busy(): a
 	// router still holding hard-blocked worms is pruned too, because
 	// every hard block resolves through an instrumented event
 	// (acceptFlit, creditArrived) that re-registers it via onActive.
 	m.activeR.prune(func(id int) bool {
-		if m.routers[id].Runnable() {
+		if m.physR[id].Runnable() {
 			return true
 		}
-		m.routers[id].ClearActiveHint()
+		m.physR[id].ClearActiveHint()
 		return false
 	})
 	m.cycle++
@@ -856,16 +1105,118 @@ func (m *Mesh) step(pool *exec.Pool) {
 		m.obsActiveRouters.Set(n)
 		m.obsActiveRoutersHW.SetMax(n)
 		m.obsActiveInjectors.Set(int64(m.activeI.len()))
+		m.obsCrossShard.Add(cross)
 		var visited int64
 		for _, id := range ids {
-			visited += m.routers[id].TakeCellsVisited()
+			visited += m.physR[id].TakeCellsVisited()
 		}
 		m.obsCellsVisited.Add(visited)
 		var wl int64
 		m.activeR.forEach(func(id int) {
-			wl += int64(m.routers[id].WorklistLen())
+			wl += int64(m.physR[id].WorklistLen())
 		})
 		m.obsWorklistLen.Set(wl)
+	}
+}
+
+// partitionTiles splits the (physically ascending, hence tile-
+// ascending) active ids into per-tile spans: tile t's active routers
+// are ids[tileOff[t]:tileOff[t+1]]. One linear pass, O(active +
+// tiles).
+func (m *Mesh) partitionTiles(ids []int) {
+	t := 0
+	m.tileOff[0] = 0
+	for i, id := range ids {
+		for id >= int(m.tileStart[t+1]) {
+			t++
+			m.tileOff[t] = int32(i)
+		}
+	}
+	for t < m.numTiles {
+		t++
+		m.tileOff[t] = int32(len(ids))
+	}
+}
+
+// planGroups decides how many worker groups this cycle's tile phase
+// fans out over and fills groupBound with contiguous tile ranges
+// balanced by active-router population. Grouping only chooses which
+// worker executes a tile — per-tile work and order are fixed — so the
+// choice cannot affect artifacts. Returns 1 (run inline) without a
+// pool or meaningful parallel work.
+func (m *Mesh) planGroups(pool *exec.Pool, active int) int {
+	if pool == nil || active <= 1 {
+		return 1
+	}
+	g := pool.Workers()
+	if g > m.numTiles {
+		g = m.numTiles
+	}
+	if g > active {
+		g = active
+	}
+	if g <= 1 {
+		return 1
+	}
+	m.ensureTasks(g)
+	m.groupBound[0] = 0
+	t := 0
+	for i := 1; i < g; i++ {
+		target := int32(active * i / g)
+		for t < m.numTiles && m.tileOff[t] < target {
+			t++
+		}
+		m.groupBound[i] = t
+	}
+	m.groupBound[g] = m.numTiles
+	return g
+}
+
+// ensureTasks grows the worker task list (and its bound slice) to g
+// entries. Tasks are grow-only and capture only their index: a pool
+// of any size — attached mid-run, swapped between steps, shrunk,
+// grown — reuses the same closures reading the current groupBound, so
+// changing worker counts never rebuilds or reallocates per-cycle
+// state.
+func (m *Mesh) ensureTasks(g int) {
+	if len(m.groupBound) < g+1 {
+		nb := make([]int, g+1)
+		copy(nb, m.groupBound)
+		m.groupBound = nb
+	}
+	for len(m.tileTasks) < g {
+		i := len(m.tileTasks)
+		m.tileTasks = append(m.tileTasks, func() {
+			m.runTiles(m.groupBound[i], m.groupBound[i+1])
+		})
+	}
+}
+
+// runTiles computes and interior-commits tiles [lo, hi): per tile, in
+// ascending physical-id order, every active router computes against
+// frozen cycle-start state; then each router's buffered effects are
+// applied to same-tile targets and deferred to the tile's rest buffer
+// otherwise (wormhole.Effects.ApplyDomain). Interior commits mutate
+// only this tile's routers — plus the active set, via its CAS path —
+// so disjoint tile ranges run concurrently, and the fixed per-tile
+// order makes serial and parallel execution byte-identical.
+func (m *Mesh) runTiles(lo, hi int) {
+	ids := m.tileIDs
+	cyc := m.tileCycle
+	for t := lo; t < hi; t++ {
+		span := ids[m.tileOff[t]:m.tileOff[t+1]]
+		if len(span) == 0 {
+			continue
+		}
+		for _, id := range span {
+			fx := &m.fx[id]
+			fx.Reset()
+			m.physR[id].Compute(cyc, fx)
+		}
+		rest := &m.rest[t]
+		for _, id := range span {
+			m.fx[id].ApplyDomain(t, rest)
+		}
 	}
 }
 
@@ -908,44 +1259,6 @@ func (m *Mesh) injectPhase() {
 		st := &m.inj[id]
 		return st.flits != nil || !st.queue.Empty()
 	})
-}
-
-// computeSharded fans the compute phase out over the pool in
-// contiguous chunks of the (sorted) active ids. Compute order is
-// irrelevant — each router mutates only its own state and its own
-// effect buffer — so chunking is purely a load-balancing choice.
-func (m *Mesh) computeSharded(pool *exec.Pool, ids []int) {
-	w := pool.Workers()
-	if w > len(ids) {
-		w = len(ids)
-	}
-	if len(m.shardTasks) != w {
-		// (Re)build the per-worker closures; they read the shard*
-		// fields so this happens once per worker count, not per cycle.
-		m.shardTasks = make([]func(), w)
-		m.shardBound = make([]int, w+1)
-		for i := range m.shardTasks {
-			i := i
-			m.shardTasks[i] = func() {
-				for _, id := range m.shardIDs[m.shardBound[i]:m.shardBound[i+1]] {
-					fx := &m.fx[id]
-					fx.Reset()
-					m.routers[id].Compute(m.shardCycle, fx)
-				}
-			}
-		}
-	}
-	m.shardIDs = ids
-	m.shardCycle = m.cycle
-	per := (len(ids) + w - 1) / w
-	for i := 0; i <= w; i++ {
-		b := i * per
-		if b > len(ids) {
-			b = len(ids)
-		}
-		m.shardBound[i] = b
-	}
-	pool.Do(m.shardTasks...)
 }
 
 // Run advances the mesh by n cycles (clamped to HorizonCap),
@@ -992,3 +1305,24 @@ func (m *Mesh) Drain(maxCycles int64) bool {
 
 // Router returns the router of a node (tests, instrumentation).
 func (m *Mesh) Router(id int) *wormhole.Router { return m.routers[id] }
+
+// TileEdge returns the commit tile edge length in routers (Config.Tile
+// or the autoTile default).
+func (m *Mesh) TileEdge() int { return m.tileEdge }
+
+// Tiles returns the number of commit tiles.
+func (m *Mesh) Tiles() int { return m.numTiles }
+
+// ArenaBytes returns the router arena footprint in bytes — the flat
+// preallocated storage all per-router state is carved from (excludes
+// schedulers and DAMQ buffers; see wormhole.Arena.Bytes).
+func (m *Mesh) ArenaBytes() int64 { return m.arenaBytes }
+
+// BytesPerRouter returns the arena footprint per router.
+func (m *Mesh) BytesPerRouter() int64 { return m.arenaBytes / int64(m.Nodes()) }
+
+// CrossShardEffects returns the cumulative number of router-target
+// effects committed across a tile boundary — the serialized share of
+// all commits (sink ejections are excluded: they are serial by design,
+// not by geometry).
+func (m *Mesh) CrossShardEffects() int64 { return m.crossFx }

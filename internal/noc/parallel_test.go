@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -41,10 +42,10 @@ type runArtifacts struct {
 
 // runStepVariant drives one fixed traffic scenario — warm phase plus
 // bounded drain — stepping the mesh however configure chooses, and
-// returns the run's artifacts.
-func runStepVariant(t *testing.T, torus bool, faultSpec string, configure func(m *Mesh) (step func(), cleanup func())) runArtifacts {
+// returns the run's artifacts. tile is Config.Tile (0 = auto).
+func runStepVariant(t *testing.T, torus bool, tile int, faultSpec string, configure func(m *Mesh) (step func(), cleanup func())) runArtifacts {
 	t.Helper()
-	cfg := Config{K: 4, VCs: 2, BufFlits: 4,
+	cfg := Config{K: 4, VCs: 2, BufFlits: 4, Tile: tile,
 		NewArb: func() sched.Scheduler { return core.New() }}
 	if torus {
 		cfg.Torus = true
@@ -140,6 +141,32 @@ var stepVariants = []struct {
 		p := exec.NewPool(8)
 		return func() { m.StepParallel(p) }, p.Close
 	}},
+	// pool-alternating regression-tests shard scratch reuse across
+	// worker-count changes: the same mesh is stepped by pools of three
+	// different sizes (and serially), switching every step mid-run. The
+	// tile scratch is keyed to tiles, not workers, so no rebuild — and
+	// no stale bound — may ever leak between pool sizes.
+	{"pool-alternating", true, func(m *Mesh) (func(), func()) {
+		pools := []*exec.Pool{exec.NewPool(2), exec.NewPool(8), nil, exec.NewPool(3)}
+		n := 0
+		step := func() {
+			p := pools[n%len(pools)]
+			n++
+			if p == nil {
+				m.Step()
+				return
+			}
+			m.StepParallel(p)
+		}
+		cleanup := func() {
+			for _, p := range pools {
+				if p != nil {
+					p.Close()
+				}
+			}
+		}
+		return step, cleanup
+	}},
 }
 
 func assertArtifactsEqual(t *testing.T, name string, base, got runArtifacts, compareObs bool) {
@@ -172,13 +199,33 @@ func assertArtifactsEqual(t *testing.T, name string, base, got runArtifacts, com
 // Welford latency accumulation, whose float sums would expose any
 // reordering of commit effects.
 func TestMeshStepParallelMatchesSerial(t *testing.T) {
-	base := runStepVariant(t, false, "", stepVariants[0].configure)
+	base := runStepVariant(t, false, 0, "", stepVariants[0].configure)
 	if base.latN == 0 || base.inFlight != 0 {
 		t.Fatalf("scenario degenerate: %d packets, %d in flight", base.latN, base.inFlight)
 	}
 	for _, v := range stepVariants[1:] {
-		got := runStepVariant(t, false, "", v.configure)
+		got := runStepVariant(t, false, 0, "", v.configure)
 		assertArtifactsEqual(t, v.name, base, got, v.quiescent)
+	}
+}
+
+// TestMeshTileConfigsMatchAcrossWorkers sweeps explicit commit tile
+// edges — 1x1 (every effect is a boundary effect), the 2x2 default,
+// 3x3 (uneven edge tiles on K=4), and 4x4 (one tile, everything
+// interior) — and requires each tiling to produce byte-identical
+// artifacts across every stepping mode and worker count. The tile edge
+// is part of the simulated configuration, so identity is pinned per
+// tiling, at any parallelism.
+func TestMeshTileConfigsMatchAcrossWorkers(t *testing.T) {
+	for _, tile := range []int{1, 2, 3, 4} {
+		base := runStepVariant(t, false, tile, "", stepVariants[0].configure)
+		if base.latN == 0 || base.inFlight != 0 {
+			t.Fatalf("tile=%d: scenario degenerate: %d packets, %d in flight", tile, base.latN, base.inFlight)
+		}
+		for _, v := range stepVariants[1:] {
+			got := runStepVariant(t, false, tile, "", v.configure)
+			assertArtifactsEqual(t, fmt.Sprintf("tile=%d/%s", tile, v.name), base, got, v.quiescent)
+		}
 	}
 }
 
@@ -191,13 +238,59 @@ func TestMeshStepParallelMatchesSerial(t *testing.T) {
 // regardless of compute scheduling.
 func TestMeshStepParallelTorusFaults(t *testing.T) {
 	const spec = "stall(port=1,at=100,dur=200);drop(router=5,port=1,p=0.05);corrupt(router=10,p=0.05);freeze(router=6,at=300,dur=400)"
-	base := runStepVariant(t, true, spec, stepVariants[0].configure)
+	base := runStepVariant(t, true, 0, spec, stepVariants[0].configure)
 	if base.latN == 0 {
 		t.Fatal("scenario degenerate: nothing delivered")
 	}
 	for _, v := range stepVariants[1:] {
-		got := runStepVariant(t, true, spec, v.configure)
+		got := runStepVariant(t, true, 0, spec, v.configure)
 		assertArtifactsEqual(t, v.name, base, got, v.quiescent)
+	}
+}
+
+// TestMeshTileDeterminism64TorusFaults is the at-scale adversarial
+// pin for tiled stepping: a 64x64 torus (4096 routers, 64 commit
+// tiles at the 8x8 default) under link stalls and frozen routers,
+// driven by bursty scheduled traffic through the Run/Drain event core.
+// Every combination of worker count (serial, 1, 2, 4, 8) and stepping
+// mode (literal stepped oracle vs event-driven time skipping) must
+// produce byte-identical artifacts — deliveries, latency floats, and
+// final in-flight state, including whatever the faults wedge.
+func TestMeshTileDeterminism64TorusFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64x64 adversarial sweep skipped in -short mode")
+	}
+	o := eventRunOpts{
+		cfg: Config{K: 64, VCs: 4, BufFlits: 2, Torus: true,
+			NewArb: func() sched.Scheduler { return core.New() }},
+		spec: "stall(port=1,at=100,dur=400);stall(router=1300,port=3,at=600,dur=300);" +
+			"freeze(router=2080,at=200,dur=500);freeze(router=70,at=900,dur=200)",
+		bursts:   []int64{0, 1500},
+		perBurst: 120,
+		run:      3_000,
+		drain:    20_000,
+	}
+	o.stepped = true
+	base, _ := eventRun(t, o)
+	if base.latN == 0 {
+		t.Fatal("scenario degenerate: nothing delivered")
+	}
+	variants := []struct {
+		name    string
+		stepped bool
+		workers int
+	}{
+		{"stepped-w1", true, 1},
+		{"stepped-w2", true, 2},
+		{"stepped-w4", true, 4},
+		{"stepped-w8", true, 8},
+		{"event-serial", false, 0},
+		{"event-w8", false, 8},
+	}
+	for _, v := range variants {
+		o.stepped, o.workers = v.stepped, v.workers
+		got, _ := eventRun(t, o)
+		assertArtifactsEqual(t, v.name, base, got, v.stepped)
 	}
 }
 

@@ -18,6 +18,12 @@ func NewBitset(n int) Bitset {
 	return Bitset{words: make([]uint64, (n+63)/64)}
 }
 
+// BitsetOver returns a Bitset backed by the caller's word slice (its
+// capacity is len(words)*64 members). The wormhole arena uses it to
+// carve per-router work-list bitmaps out of one flat allocation so a
+// tile's hot state is contiguous in memory.
+func BitsetOver(words []uint64) Bitset { return Bitset{words: words} }
+
 // Set adds i to the set.
 func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
 

@@ -20,8 +20,8 @@ type portBuf struct {
 	occVC uint64
 }
 
-func initPortBuf(pb *portBuf, vcs, bufFlits, sharedFlits, cap int) {
-	pb.fifos = make([]vcFIFO, vcs)
+func initPortBuf(pb *portBuf, a *Arena, vcs, bufFlits, sharedFlits, cap int) {
+	pb.fifos = a.fifos.take(vcs)
 	if sharedFlits > 0 {
 		pb.dyn = damq.New(sharedFlits, vcs, bufFlits)
 		if cap > 0 {
@@ -30,7 +30,7 @@ func initPortBuf(pb *portBuf, vcs, bufFlits, sharedFlits, cap int) {
 		return
 	}
 	for v := range pb.fifos {
-		pb.fifos[v] = vcFIFO{buf: make([]entry, bufFlits)}
+		pb.fifos[v].buf = a.entries.take(bufFlits)
 	}
 }
 

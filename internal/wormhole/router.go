@@ -209,6 +209,7 @@ const (
 type Router struct {
 	cfg    Config
 	id     int
+	domain int               // commit domain (SetDomain); 0 by default
 	in     []portBuf         // one input buffer complex per port
 	arbs   []sched.Scheduler // arbiter of cell o*VCs+v
 	locks  []lock            // allocation of cell o*VCs+v
@@ -327,71 +328,25 @@ type Router struct {
 
 // NewRouter validates cfg and returns a router with all outputs
 // unconnected (connect them with Connect / ConnectSink before
-// stepping).
+// stepping). It is a single-router arena carve; batch builders
+// (package noc's meshes) construct one Arena for the whole batch so
+// consecutively built routers are contiguous in memory.
 func NewRouter(id int, cfg Config) (*Router, error) {
-	if cfg.Ports < 1 || cfg.VCs < 1 || cfg.BufFlits < 1 {
-		return nil, fmt.Errorf("wormhole: invalid config %+v", cfg)
-	}
-	if cfg.VCs > 64 {
-		// The per-port occupancy and per-output allocation bitmasks
-		// pack VC state into single words.
-		return nil, fmt.Errorf("wormhole: %d VCs per port exceeds the supported 64", cfg.VCs)
-	}
-	if cfg.NewArb == nil || cfg.Route == nil {
-		return nil, fmt.Errorf("wormhole: NewArb and Route are required")
-	}
-	if cfg.SharedBufFlits > 0 && cfg.SharedBufFlits < cfg.VCs*cfg.BufFlits {
-		return nil, fmt.Errorf("wormhole: shared buffer %d smaller than reservations %d*%d",
-			cfg.SharedBufFlits, cfg.VCs, cfg.BufFlits)
-	}
-	r := &Router{
-		cfg:        cfg,
-		id:         id,
-		in:         make([]portBuf, cfg.Ports),
-		arbs:       make([]sched.Scheduler, cfg.Ports*cfg.VCs),
-		locks:      make([]lock, cfg.Ports*cfg.VCs),
-		out:        make([]Endpoint, cfg.Ports),
-		crd:        make([]int, cfg.Ports*cfg.VCs),
-		credUp:     make([]creditReturn, cfg.Ports),
-		outR:       make([]*Router, cfg.Ports),
-		outPort:    make([]int, cfg.Ports),
-		credUpR:    make([]*Router, cfg.Ports),
-		credUpPort: make([]int, cfg.Ports),
-		gateOut:    make([]func(vc int) bool, cfg.Ports),
-		eligible:   make([]int, cfg.Ports*cfg.VCs),
-		usedInput:  make([]bool, cfg.Ports),
-		outFault:   make([]OutputFault, cfg.Ports),
-
-		pendingOut: queue.NewBitset(cfg.Ports),
-		grantable:  queue.NewBitset(cfg.Ports * cfg.VCs),
-		outs:       make([]outHot, cfg.Ports),
-		inLockOut:  make([]int32, cfg.Ports*cfg.VCs),
-		inTraced:   make([]bool, cfg.Ports*cfg.VCs),
-
-		gateSnapCycle: -1,
-	}
-	for i := range r.inLockOut {
-		r.inLockOut[i] = -1
-	}
-	for p := 0; p < cfg.Ports; p++ {
-		initPortBuf(&r.in[p], cfg.VCs, cfg.BufFlits, cfg.SharedBufFlits, cfg.SharedBufCap)
-		for v := 0; v < cfg.VCs; v++ {
-			arb := cfg.NewArb()
-			if _, ok := arb.(sched.LengthAware); ok {
-				return nil, fmt.Errorf("wormhole: arbiter %q requires a-priori packet lengths and cannot arbitrate a wormhole output", arb.Name())
-			}
-			hol, ok := arb.(sched.HeadOfLineArb)
-			if !ok {
-				return nil, fmt.Errorf("wormhole: arbiter %q does not satisfy the head-of-line arbitration contract (sched.HeadOfLineArb)", arb.Name())
-			}
-			r.arbs[p*cfg.VCs+v] = hol
-		}
-	}
-	return r, nil
+	return NewArena(cfg, 1).NewRouter(id, cfg)
 }
 
 // ID returns the router's node id.
 func (r *Router) ID() int { return r.id }
+
+// SetDomain assigns the router to a commit domain. Package noc uses
+// contiguous 2D tiles as domains: during the commit phase each tile
+// owner applies its routers' domain-interior effects concurrently via
+// Effects.ApplyDomain, deferring everything that crosses a domain
+// boundary to the serial commit. The default domain is 0.
+func (r *Router) SetDomain(d int) { r.domain = d }
+
+// Domain returns the commit domain assigned by SetDomain.
+func (r *Router) Domain() int { return r.domain }
 
 // Connect wires output port po of a to input port pi of b, setting up
 // the flow control: per-VC credits for statically partitioned inputs,
@@ -792,6 +747,57 @@ func (fx *Effects) Apply() {
 		}
 	}
 }
+
+// ApplyDomain commits the subset of the buffered effects whose target
+// is a router in domain dom — deliveries then credits, Apply's class
+// order — and appends every other effect (cross-domain handoffs, sink
+// deliveries, closure-bound credits) to rest in recorded order. A
+// caller that owns every router of dom may run ApplyDomain
+// concurrently with other domains' computes and interior commits: the
+// applied subset mutates only dom's routers, and the deferred rest
+// buffer is the caller's own. The rest buffers must afterwards be
+// applied serially in a fixed domain order — that is the entire
+// worker-count-independent schedule.
+func (fx *Effects) ApplyDomain(dom int, rest *Effects) {
+	for i := range fx.deliveries {
+		d := &fx.deliveries[i]
+		if d.r != nil && d.r.domain == dom {
+			d.r.acceptFlit(d.port, d.f, d.vc, d.cycle)
+		} else {
+			rest.deliveries = append(rest.deliveries, *d)
+		}
+	}
+	for i := range fx.credits {
+		c := &fx.credits[i]
+		if c.r != nil && c.r.domain == dom {
+			c.r.creditArrived(c.o, c.vc, c.cycle)
+		} else {
+			rest.credits = append(rest.credits, *c)
+		}
+	}
+}
+
+// CrossRouter returns how many buffered effects target a router (as
+// opposed to a sink or closure-bound endpoint). On a rest buffer
+// filled by ApplyDomain this counts exactly the domain-crossing
+// effects — the mesh's noc.cross_shard_effects telemetry.
+func (fx *Effects) CrossRouter() int {
+	n := 0
+	for i := range fx.deliveries {
+		if fx.deliveries[i].r != nil {
+			n++
+		}
+	}
+	for i := range fx.credits {
+		if fx.credits[i].r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of buffered effects.
+func (fx *Effects) Len() int { return len(fx.deliveries) + len(fx.credits) }
 
 // SnapshotGates caches the stop/go gate state of every shared-buffer
 // output link as of the start of the given cycle. Gate closures read
